@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Float Format List Ras Ras_broker Ras_failures Ras_mip Ras_stats Ras_topology Ras_workload Report Scenarios Solver_runs Stdlib Unix

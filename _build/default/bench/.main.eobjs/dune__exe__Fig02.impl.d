@@ -1,0 +1,1 @@
+bench/fig02.ml: Array Char List Printf Ras_topology Report Scenarios Stdlib

@@ -1,0 +1,1 @@
+bench/fig03.ml: List Ras_workload Report

@@ -1,0 +1,1 @@
+bench/fig04.ml: Array List Ras_stats Ras_workload Report Scenarios

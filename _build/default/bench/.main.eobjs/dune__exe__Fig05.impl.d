@@ -1,0 +1,1 @@
+bench/fig05.ml: Array List Ras_failures Ras_stats Report Scenarios Stdlib

@@ -1,0 +1,1 @@
+bench/fig07.ml: Array List Ras Ras_stats Report Scenarios Solver_runs String

@@ -1,0 +1,1 @@
+bench/fig08.ml: Fig07 Fig10_11 Float List Ras Report Solver_runs

@@ -1,0 +1,1 @@
+bench/fig09.ml: Fig07 Float List Ras Ras_stats Report Solver_runs

@@ -1,0 +1,1 @@
+bench/fig10_11.ml: List Option Printf Ras Ras_broker Ras_stats Ras_topology Ras_workload Report Scenarios Solver_runs

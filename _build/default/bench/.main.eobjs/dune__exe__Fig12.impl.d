@@ -1,0 +1,1 @@
+bench/fig12.ml: Float List Ras Ras_broker Ras_topology Ras_twine Ras_workload Report Scenarios Stdlib

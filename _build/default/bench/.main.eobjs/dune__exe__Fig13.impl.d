@@ -1,0 +1,1 @@
+bench/fig13.ml: Array Float List Printf Ras Ras_broker Ras_topology Ras_workload Report Scenarios String

@@ -1,0 +1,1 @@
+bench/fig14.ml: List Ras Ras_broker Ras_topology Ras_twine Ras_workload Report Scenarios Stdlib

@@ -1,0 +1,1 @@
+bench/fig15.ml: List Printf Ras Ras_broker Ras_workload Report Scenarios Stdlib String

@@ -1,0 +1,1 @@
+bench/fig16.ml: Array List Ras Ras_broker Ras_failures Ras_sim Ras_stats Ras_workload Report Scenarios Stdlib

@@ -1,0 +1,1 @@
+bench/kernels.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Ras Ras_broker Ras_mip Report Scenarios Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig02 Fig03 Fig04 Fig05 Fig07 Fig08 Fig09 Fig10_11 Fig12 Fig13 Fig14 Fig15 Fig16 Kernels List Printf Scenarios String Sys Table1 Unix

@@ -1,0 +1,1 @@
+bench/report.ml: Array Format Printf Ras_stats String

@@ -1,0 +1,1 @@
+bench/scenarios.ml: List Ras Ras_stats Ras_topology Ras_workload Stdlib

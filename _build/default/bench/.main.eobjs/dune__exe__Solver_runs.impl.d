@@ -1,0 +1,1 @@
+bench/solver_runs.ml: List Ras Ras_broker Ras_failures Ras_stats Ras_topology Ras_workload Scenarios Stdlib

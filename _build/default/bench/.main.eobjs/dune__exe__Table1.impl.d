@@ -1,0 +1,1 @@
+bench/table1.ml: Format List Ras Ras_broker Ras_mip Ras_topology Report Scenarios String

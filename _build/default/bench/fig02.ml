@@ -1,0 +1,48 @@
+(* Fig. 2: hardware mixture across MSBs.  Expect large per-MSB variation and
+   an age skew: generation-1 subtypes only in old MSBs, generation-3 only in
+   new ones. *)
+
+module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
+
+let run () =
+  Report.heading "Figure 2: hardware heterogeneity across MSBs"
+    ~paper:"capacity % per <C-S> subtype for 14 MSBs + region average"
+    ~expect:"strong per-MSB variation; gen-1 absent from newest MSBs and gen-3 from oldest";
+  let region = Scenarios.region_of Scenarios.Wide in
+  let sample_msbs =
+    (* like the paper, show a representative sample plus the average *)
+    List.init 14 (fun i -> i * region.Region.num_msbs / 14)
+  in
+  let mix msb =
+    let counts = Array.make Hw.count 0 in
+    let total = ref 0 in
+    Array.iter
+      (fun (s : Region.server) ->
+        if msb < 0 || s.Region.loc.Region.msb = msb then begin
+          counts.(s.Region.hw.Hw.index) <- counts.(s.Region.hw.Hw.index) + 1;
+          incr total
+        end)
+      region.Region.servers;
+    Array.map (fun c -> 100.0 *. float_of_int c /. float_of_int (Stdlib.max 1 !total)) counts
+  in
+  Report.row "%-6s" "MSB";
+  Array.iter (fun h -> Report.row "%7s" h.Hw.code) Hw.catalog;
+  Report.row "\n";
+  let print_row label percentages =
+    Report.row "%-6s" label;
+    Array.iter (fun p -> if p > 0.0 then Report.row "%6.1f%%" p else Report.row "%7s" "-") percentages;
+    Report.row "\n"
+  in
+  List.iter (fun m -> print_row (Printf.sprintf "%c" (Char.chr (Char.code 'A' + List.length (List.filter (fun x -> x < m) sample_msbs)))) (mix m)) sample_msbs;
+  print_row "Avg" (mix (-1));
+  (* verify the age-skew claim *)
+  let oldest = mix 0 and newest = mix (region.Region.num_msbs - 1) in
+  let share gen m =
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun i p -> if Hw.catalog.(i).Hw.cpu_generation = gen then p else 0.0) m)
+  in
+  Report.row "gen-3 share: oldest MSB %.1f%% vs newest MSB %.1f%%\n" (share 3 oldest)
+    (share 3 newest);
+  Report.row "gen-1 share: oldest MSB %.1f%% vs newest MSB %.1f%%\n" (share 1 oldest)
+    (share 1 newest)

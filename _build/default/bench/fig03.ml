@@ -1,0 +1,24 @@
+(* Fig. 3: Relative Value across processor generations for the four large
+   services plus the fleet average. *)
+
+module Service = Ras_workload.Service
+
+let run () =
+  Report.heading "Figure 3: relative value per processor generation"
+    ~paper:"Web 1.00/1.47/1.82; DataStore flat; Feed gains on one generation only; fleet avg rises"
+    ~expect:"same table (Web/Feed values encoded from the figure)";
+  let profiles =
+    [
+      ("DataStore", Service.Data_store);
+      ("Feed1", Service.Feed1);
+      ("Feed2", Service.Feed2);
+      ("Web", Service.Web);
+      ("Fleet Avg", Service.Generic);
+    ]
+  in
+  Report.row "%-12s %8s %8s %8s\n" "service" "gen I" "gen II" "gen III";
+  List.iter
+    (fun (name, p) ->
+      Report.row "%-12s %8.2f %8.2f %8.2f\n" name (Service.relative_value p 1)
+        (Service.relative_value p 2) (Service.relative_value p 3))
+    profiles

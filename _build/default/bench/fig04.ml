@@ -1,0 +1,39 @@
+(* Fig. 4: requested capacity vs. number of hardware types that can fulfill
+   the request.  Joint distribution: sizes 1..30000 with most mass at a few
+   hundred; flexibility modes at 1 and ~8 types, small tail at 10-12. *)
+
+module Request_gen = Ras_workload.Request_gen
+module Summary = Ras_stats.Summary
+
+let run () =
+  Report.heading "Figure 4: capacity requested vs acceptable hardware types"
+    ~paper:"log-scale sizes 1..30000, modes at 1 and 8 hw types, few requests accept 10-12"
+    ~expect:"matching joint histogram from the request generator";
+  let rng = Ras_stats.Rng.create 42 in
+  let n = Scenarios.scaled 4000 in
+  let samples = Request_gen.paper_distribution rng ~n in
+  (* histogram: hw types x size decade *)
+  let decades = [| 1.0; 10.0; 100.0; 1000.0; 10000.0; 100000.0 |] in
+  let counts = Array.make_matrix 12 (Array.length decades - 1) 0 in
+  List.iter
+    (fun (s : Request_gen.sized_request) ->
+      let d = ref 0 in
+      for k = 0 to Array.length decades - 2 do
+        if s.Request_gen.units >= decades.(k) then d := k
+      done;
+      counts.(s.Request_gen.hw_types - 1).(!d) <-
+        counts.(s.Request_gen.hw_types - 1).(!d) + 1)
+    samples;
+  Report.row "%-9s %8s %8s %8s %8s %8s %8s\n" "hw types" "1-9" "10-99" "100-999" "1k-9k"
+    "10k+" "total";
+  Array.iteri
+    (fun i row ->
+      let total = Array.fold_left ( + ) 0 row in
+      Report.row "%-9d %8d %8d %8d %8d %8d %8d\n" (i + 1) row.(0) row.(1) row.(2) row.(3)
+        row.(4) total)
+    counts;
+  let sizes = Summary.create () in
+  List.iter (fun (s : Request_gen.sized_request) -> Summary.add sizes s.Request_gen.units) samples;
+  Report.summary "request size (units)" sizes;
+  let max_size = Summary.max_value sizes and min_size = Summary.min_value sizes in
+  Report.row "size span: %.0f .. %.0f (paper: 1 .. ~30000)\n" min_size max_size

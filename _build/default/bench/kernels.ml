@@ -1,0 +1,81 @@
+(* Bechamel micro-benchmarks of the solver kernels that back the timing
+   figures (7, 8, 10, 11): simplex LP solve, symmetry grouping, formulation
+   build, model compile, and a full phase-1 solve. *)
+
+open Bechamel
+open Toolkit
+
+let lp_problem () =
+  (* a representative mid-size LP: transportation-like structure *)
+  let m = Ras_mip.Model.create () in
+  let n_src = 12 and n_dst = 10 in
+  let vars =
+    Array.init n_src (fun i ->
+        Array.init n_dst (fun j ->
+            Ras_mip.Model.add_var ~name:(Printf.sprintf "x%d_%d" i j) ~ub:50.0 m))
+  in
+  for i = 0 to n_src - 1 do
+    let e = Ras_mip.Lin_expr.of_terms (List.init n_dst (fun j -> (1.0, vars.(i).(j)))) in
+    ignore (Ras_mip.Model.add_constraint m e Ras_mip.Model.Le 40.0)
+  done;
+  for j = 0 to n_dst - 1 do
+    let e = Ras_mip.Lin_expr.of_terms (List.init n_src (fun i -> (1.0, vars.(i).(j)))) in
+    ignore (Ras_mip.Model.add_constraint m e Ras_mip.Model.Ge 20.0)
+  done;
+  let obj =
+    Ras_mip.Lin_expr.of_terms
+      (List.concat
+         (List.init n_src (fun i ->
+              List.init n_dst (fun j -> (float_of_int (((i * 7) + (j * 3)) mod 11), vars.(i).(j))))))
+  in
+  Ras_mip.Model.set_objective m obj;
+  Ras_mip.Model.compile m
+
+let small_scenario () =
+  let region = Scenarios.region_of Scenarios.Small in
+  let broker = Ras_broker.Broker.create region in
+  let requests = Scenarios.requests_of Scenarios.Small region in
+  let reservations =
+    List.map Ras.Reservation.of_request requests
+    @ Ras.Buffers.shared_buffer_reservations region ~fraction:0.02 ~first_id:8000
+  in
+  Ras.Snapshot.take broker reservations
+
+let tests () =
+  let std = lp_problem () in
+  let snapshot = small_scenario () in
+  let symmetry = Ras.Symmetry.build snapshot in
+  let formulation = Ras.Formulation.build symmetry snapshot.Ras.Snapshot.reservations in
+  [
+    Test.make ~name:"simplex-lp-120var" (Staged.stage (fun () -> Ras_mip.Simplex.solve std));
+    Test.make ~name:"symmetry-build" (Staged.stage (fun () -> Ras.Symmetry.build snapshot));
+    Test.make ~name:"formulation-build"
+      (Staged.stage (fun () ->
+           Ras.Formulation.build symmetry snapshot.Ras.Snapshot.reservations));
+    Test.make ~name:"model-compile"
+      (Staged.stage (fun () -> Ras_mip.Model.compile formulation.Ras.Formulation.model));
+    Test.make ~name:"phase1-heuristic-solve"
+      (Staged.stage (fun () ->
+           Ras.Phases.run ~mip_node_limit:0 snapshot snapshot.Ras.Snapshot.reservations));
+  ]
+
+let run () =
+  Report.heading "Bechamel kernel micro-benchmarks"
+    ~paper:"(methodology) wall-clock kernels behind Figs. 7/8/10/11"
+    ~expect:"stable per-run estimates; build kernels far cheaper than LP solves";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Report.row "%-40s %12.0f ns/run\n" name est
+      | Some _ | None -> Report.row "%-40s (no estimate)\n" name)
+    results

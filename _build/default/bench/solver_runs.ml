@@ -1,0 +1,51 @@
+(* Shared driver for the solver-performance figures (7, 8, 9): a sequence of
+   region solves under production-like conditions — each solve sees a
+   slightly different world (random failures, capacity resizes) so the
+   distribution of allocation times and quality gaps is meaningful. *)
+
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+module Unavail = Ras_failures.Unavail
+module Capacity_request = Ras_workload.Capacity_request
+
+type run = { stats : Ras.Async_solver.stats; solve_index : int }
+
+let with_rack_limits requests =
+  List.map
+    (fun (r : Capacity_request.t) ->
+      if r.Capacity_request.rru >= 5.0 then
+        { r with Capacity_request.rack_spread_limit = Some 0.06 }
+      else r)
+    requests
+
+let collect ?(preset = Scenarios.Small) ?(solver = Scenarios.interactive_solver) ~solves () =
+  let region = Scenarios.region_of preset in
+  let broker = Broker.create region in
+  let rng = Ras_stats.Rng.create 2024 in
+  let requests = with_rack_limits (Scenarios.requests_of preset region) in
+  let reservations =
+    List.map Ras.Reservation.of_request requests
+    @ Ras.Buffers.shared_buffer_reservations region ~fraction:0.02 ~first_id:8000
+  in
+  let mover = Ras.Online_mover.create broker in
+  Ras.Online_mover.set_reservations mover reservations;
+  let runs = ref [] in
+  for i = 0 to solves - 1 do
+    (* perturb the world: ~1% of servers fail for the duration of the solve,
+       and some servers flip their in-use bit (container churn) *)
+    let n = Broker.num_servers broker in
+    let down = List.init (Stdlib.max 1 (n / 100)) (fun _ -> Ras_stats.Rng.int rng n) in
+    List.iter (fun id -> Broker.mark_down broker id Unavail.Unplanned_sw) down;
+    Broker.iter broker ~f:(fun r ->
+        match r.Broker.current with
+        | Broker.Reservation _ ->
+          if Ras_stats.Rng.float rng 1.0 < 0.7 then
+            Broker.set_in_use broker r.Broker.server.Region.id true
+        | Broker.Free | Broker.Shared_buffer | Broker.Elastic _ -> ());
+    let snapshot = Ras.Snapshot.take broker reservations in
+    let stats = Ras.Async_solver.solve ~params:solver snapshot in
+    ignore (Ras.Online_mover.apply_plan mover stats.Ras.Async_solver.plan);
+    List.iter (fun id -> Broker.mark_up broker id) down;
+    runs := { stats; solve_index = i } :: !runs
+  done;
+  List.rev !runs

@@ -1,0 +1,1 @@
+examples/elastic_harvest.ml: Async_solver Buffers List Online_mover Printf Ras Ras_broker Ras_failures Ras_topology Ras_twine Ras_workload Reservation Snapshot

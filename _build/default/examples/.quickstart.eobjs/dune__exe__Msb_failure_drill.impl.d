@@ -1,0 +1,1 @@
+examples/msb_failure_drill.ml: Async_solver Buffers Concretize Hashtbl List Online_mover Printf Ras Ras_broker Ras_failures Ras_topology Ras_twine Ras_workload Reservation Snapshot

@@ -1,0 +1,1 @@
+examples/msb_failure_drill.mli:

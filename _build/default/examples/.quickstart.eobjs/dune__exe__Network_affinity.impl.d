@@ -1,0 +1,1 @@
+examples/network_affinity.ml: Array Async_solver Buffers Float List Online_mover Printf Ras Ras_broker Ras_topology Ras_workload Reservation Snapshot String

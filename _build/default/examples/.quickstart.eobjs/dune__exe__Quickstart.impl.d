@@ -1,0 +1,1 @@
+examples/quickstart.ml: Async_solver Buffers Explain Format List Online_mover Printf Ras Ras_broker Ras_topology Ras_twine Ras_workload Reservation Snapshot

@@ -1,0 +1,1 @@
+examples/storage_quorum.ml: Array Async_solver List Online_mover Printf Ras Ras_broker Ras_failures Ras_topology Ras_workload Reservation Snapshot

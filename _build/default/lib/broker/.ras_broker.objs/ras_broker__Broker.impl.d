@@ -1,0 +1,1 @@
+lib/broker/broker.ml: Array List Printf Ras_failures Ras_topology

@@ -1,0 +1,1 @@
+lib/broker/broker.mli: Ras_failures Ras_topology

@@ -1,0 +1,97 @@
+module Region = Ras_topology.Region
+module Unavail = Ras_failures.Unavail
+
+type owner = Free | Reservation of int | Shared_buffer | Elastic of int
+
+type record = {
+  server : Region.server;
+  mutable current : owner;
+  mutable target : owner;
+  mutable down : Unavail.kind option;
+  mutable in_use : bool;
+}
+
+type event = Went_down of int * Unavail.kind | Came_up of int
+
+type t = {
+  mutable reg : Region.t;
+  mutable records : record array;
+  mutable subscribers : (event -> unit) list;  (* reversed subscription order *)
+}
+
+let fresh_record server = { server; current = Free; target = Free; down = None; in_use = false }
+
+let create reg =
+  { reg; records = Array.map fresh_record reg.Region.servers; subscribers = [] }
+
+let region t = t.reg
+
+let num_servers t = Array.length t.records
+
+let record t id =
+  if id < 0 || id >= Array.length t.records then
+    invalid_arg (Printf.sprintf "Broker.record: unknown server %d" id);
+  t.records.(id)
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let notify t ev = List.iter (fun f -> f ev) (List.rev t.subscribers)
+
+let set_target t id owner = (record t id).target <- owner
+
+let move t id owner =
+  let r = record t id in
+  if r.current <> owner then begin
+    r.current <- owner;
+    r.in_use <- false
+  end
+
+let mark_down t id kind =
+  let r = record t id in
+  if r.down <> Some kind then begin
+    r.down <- Some kind;
+    notify t (Went_down (id, kind))
+  end
+
+let mark_up t id =
+  let r = record t id in
+  if r.down <> None then begin
+    r.down <- None;
+    notify t (Came_up id)
+  end
+
+let set_in_use t id flag = (record t id).in_use <- flag
+
+let extend_region t reg =
+  let old_n = Array.length t.records in
+  if Region.num_servers reg < old_n then
+    invalid_arg "Broker.extend_region: new region is smaller";
+  for i = 0 to old_n - 1 do
+    if reg.Region.servers.(i).Region.id <> t.records.(i).server.Region.id then
+      invalid_arg "Broker.extend_region: existing server ids changed"
+  done;
+  let added =
+    Array.init
+      (Region.num_servers reg - old_n)
+      (fun k -> fresh_record reg.Region.servers.(old_n + k))
+  in
+  t.records <- Array.append t.records added;
+  t.reg <- reg
+
+let fold t ~init ~f = Array.fold_left f init t.records
+
+let iter t ~f = Array.iter f t.records
+
+let servers_with_owner t owner =
+  fold t ~init:[] ~f:(fun acc r -> if r.current = owner then r.server.Region.id :: acc else acc)
+  |> List.rev
+
+let count_owner t owner =
+  fold t ~init:0 ~f:(fun acc r -> if r.current = owner then acc + 1 else acc)
+
+let available r =
+  match r.down with
+  | None | Some Unavail.Planned_maintenance -> true
+  | Some (Unavail.Unplanned_sw | Unavail.Unplanned_hw | Unavail.Correlated) -> false
+
+let healthy r = r.down = None

@@ -1,0 +1,78 @@
+(** Resource Broker: the authoritative store of server state (paper §3.1-2).
+
+    For every server the broker keeps the fields of Fig. 6's "Solve Input"
+    table: the {e current} owner (who holds the server now), the {e target}
+    owner (the binding intent written by the Async Solver), whether the
+    server is lent out elastically, and its unavailability state.  The Twine
+    allocator and the Online Mover subscribe to unavailability changes.
+
+    The production broker is highly-available replicated storage; behaviour
+    relevant to allocation is the data model and the subscription contract,
+    which this in-memory version preserves. *)
+
+type owner =
+  | Free  (** region free pool *)
+  | Reservation of int  (** bound to a guaranteed reservation *)
+  | Shared_buffer  (** the shared random-failure buffer (§3.3.1) *)
+  | Elastic of int  (** buffer capacity lent to an elastic reservation (§3.4) *)
+
+type record = {
+  server : Ras_topology.Region.server;
+  mutable current : owner;
+  mutable target : owner;
+  mutable down : Ras_failures.Unavail.kind option;  (** [None] = healthy *)
+  mutable in_use : bool;  (** has running containers (drives movement cost) *)
+}
+
+type t
+
+type event = Went_down of int * Ras_failures.Unavail.kind | Came_up of int
+
+val create : Ras_topology.Region.t -> t
+(** All servers start [Free], healthy, targets equal to current. *)
+
+val region : t -> Ras_topology.Region.t
+
+val num_servers : t -> int
+
+val record : t -> int -> record
+(** Raises [Invalid_argument] on an unknown server id. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Callbacks run synchronously on {!mark_down}/{!mark_up}, in subscription
+    order. *)
+
+val set_target : t -> int -> owner -> unit
+(** Record binding intent (solver output step 3 in Fig. 6). *)
+
+val move : t -> int -> owner -> unit
+(** Change [current] ownership (the Online Mover's capacity-binding step).
+    Moving a server across owners preempts its containers: [in_use] resets
+    to false unless the owner is unchanged. *)
+
+val mark_down : t -> int -> Ras_failures.Unavail.kind -> unit
+(** Idempotent for the same kind; a more severe event may overwrite. *)
+
+val mark_up : t -> int -> unit
+
+val set_in_use : t -> int -> bool -> unit
+
+val extend_region : t -> Ras_topology.Region.t -> unit
+(** Adopt an extended region (see {!Ras_topology.Generator.extend}): new
+    servers are added as [Free]; existing records are untouched.  Raises
+    [Invalid_argument] if the new region does not extend the old one. *)
+
+val fold : t -> init:'a -> f:('a -> record -> 'a) -> 'a
+
+val iter : t -> f:(record -> unit) -> unit
+
+val servers_with_owner : t -> owner -> int list
+
+val count_owner : t -> owner -> int
+
+val available : record -> bool
+(** Healthy or under planned maintenance: planned events count as usable
+    capacity for the solver (§3.5.1). *)
+
+val healthy : record -> bool
+(** No active unavailability at all. *)

@@ -1,0 +1,1 @@
+lib/core/async_solver.ml: Array Concretize Float Formulation Hashtbl Int List Phases Ras_broker Ras_mip Ras_topology Reservation Snapshot Unix

@@ -1,0 +1,1 @@
+lib/core/async_solver.mli: Concretize Formulation Phases Snapshot

@@ -1,0 +1,1 @@
+lib/core/buffers.ml: Array Float Formulation List Ras_mip Ras_topology Reservation Snapshot Symmetry

@@ -1,0 +1,1 @@
+lib/core/buffers.mli: Ras_topology Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/concretize.ml: Array Formulation Hashtbl List Ras_broker Reservation Snapshot Symmetry

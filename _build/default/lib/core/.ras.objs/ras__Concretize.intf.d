@@ -1,0 +1,1 @@
+lib/core/concretize.mli: Formulation Ras_broker

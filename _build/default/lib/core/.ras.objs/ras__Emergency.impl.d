@@ -1,0 +1,1 @@
+lib/core/emergency.ml: List Ras_broker Ras_topology Reservation

@@ -1,0 +1,1 @@
+lib/core/emergency.mli: Ras_broker Reservation

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Async_solver Buffer Float List Phases Printf Ras_broker Ras_mip Ras_topology Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Async_solver Phases Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/formulation.ml: Array Float Hashtbl List Printf Ras_broker Ras_mip Ras_topology Reservation Symmetry

@@ -1,0 +1,1 @@
+lib/core/formulation.mli: Ras_mip Reservation Symmetry

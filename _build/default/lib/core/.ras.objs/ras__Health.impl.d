@@ -1,0 +1,1 @@
+lib/core/health.ml: Hashtbl List Ras_broker Ras_failures Ras_sim

@@ -1,0 +1,1 @@
+lib/core/health.mli: Ras_broker Ras_failures Ras_sim

@@ -1,0 +1,1 @@
+lib/core/online_mover.ml: Concretize Hashtbl List Option Ras_broker Ras_failures Ras_sim Ras_topology Reservation

@@ -1,0 +1,1 @@
+lib/core/online_mover.mli: Concretize Ras_broker Ras_sim Reservation

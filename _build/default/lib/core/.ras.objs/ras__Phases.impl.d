@@ -1,0 +1,1 @@
+lib/core/phases.ml: Array Formulation Gc Ras_mip Symmetry Unix

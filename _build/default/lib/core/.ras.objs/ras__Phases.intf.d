@@ -1,0 +1,1 @@
+lib/core/phases.mli: Formulation Ras_mip Reservation Snapshot

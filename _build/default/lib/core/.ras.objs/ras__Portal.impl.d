@@ -1,0 +1,1 @@
+lib/core/portal.ml: Array Hashtbl List Printf Ras_topology Ras_workload Snapshot

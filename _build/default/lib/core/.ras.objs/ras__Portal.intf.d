@@ -1,0 +1,1 @@
+lib/core/portal.mli: Ras_topology Ras_workload Snapshot

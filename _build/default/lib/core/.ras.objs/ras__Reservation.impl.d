@@ -1,0 +1,1 @@
+lib/core/reservation.ml: Format Printf Ras_topology Ras_workload

@@ -1,0 +1,1 @@
+lib/core/reservation.mli: Format Ras_topology Ras_workload

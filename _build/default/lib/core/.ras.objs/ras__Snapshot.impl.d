@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Float Ras_broker Ras_topology Reservation

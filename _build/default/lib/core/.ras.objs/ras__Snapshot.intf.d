@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Ras_broker Ras_topology Reservation

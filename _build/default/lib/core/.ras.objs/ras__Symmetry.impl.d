@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Array Hashtbl List Ras_broker Ras_topology Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/symmetry.mli: Ras_broker Ras_topology Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/system.ml: Async_solver Buffers Float Hashtbl Health List Online_mover Printf Ras_broker Ras_sim Ras_topology Ras_twine Ras_workload Reservation Snapshot

@@ -1,0 +1,1 @@
+lib/core/system.mli: Async_solver Online_mover Ras_broker Ras_failures Ras_sim Ras_twine Ras_workload Reservation Snapshot

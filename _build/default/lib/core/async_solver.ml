@@ -1,0 +1,205 @@
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+module Branch_bound = Ras_mip.Branch_bound
+
+type params = {
+  formulation : Formulation.params;
+  phase1_time_limit_s : float;
+  phase2_time_limit_s : float;
+  node_limit : int;
+  run_phase2 : bool;
+  phase2_fraction : float;
+  phase2_var_cap : int;
+}
+
+let default_params =
+  {
+    formulation = Formulation.default_params;
+    phase1_time_limit_s = 10.0;
+    phase2_time_limit_s = 5.0;
+    node_limit = 300;
+    run_phase2 = true;
+    phase2_fraction = 0.1;
+    phase2_var_cap = 6000;
+  }
+
+type stats = {
+  phase1 : Phases.result;
+  phase2 : Phases.result option;
+  plan : Concretize.plan;
+  duration_s : float;
+  shortfalls : (int * float) list;
+  moves_in_use : int;
+  moves_unused : int;
+  gap_preemptions : float;
+  proven_constraints_fixed : bool;
+}
+
+let owner_of_res res =
+  match res.Reservation.kind with
+  | Reservation.Guaranteed -> Broker.Reservation res.Reservation.id
+  | Reservation.Random_failure_buffer _ -> Broker.Shared_buffer
+
+(* Rack-spread overflow of a reservation under a target map — the phase-2
+   selection criterion ("reservations with the worst rack-level objectives
+   are prioritized", §3.5.2). *)
+let rack_overflow (snapshot : Snapshot.t) targets res =
+  match res.Reservation.rack_spread_limit with
+  | None -> 0.0
+  | Some alpha_k ->
+    let owner = owner_of_res res in
+    let per_rack = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun id target ->
+        if target = owner then begin
+          let v = snapshot.Snapshot.servers.(id) in
+          let rru = res.Reservation.rru_of v.Snapshot.server.Region.hw in
+          if rru > 0.0 then begin
+            let rack = v.Snapshot.server.Region.loc.Region.rack in
+            let cur = try Hashtbl.find per_rack rack with Not_found -> 0.0 in
+            Hashtbl.replace per_rack rack (cur +. rru)
+          end
+        end)
+      targets;
+    let limit = alpha_k *. res.Reservation.capacity_rru in
+    Hashtbl.fold (fun _ v acc -> acc +. Float.max 0.0 (v -. limit)) per_rack 0.0
+
+let with_targets (snapshot : Snapshot.t) targets =
+  let servers =
+    Array.map
+      (fun (v : Snapshot.server_view) ->
+        match Hashtbl.find_opt targets v.Snapshot.server.Region.id with
+        | Some owner when owner <> v.Snapshot.current ->
+          (* a moved server is preempted: it arrives idle *)
+          { v with Snapshot.current = owner; in_use = false }
+        | Some _ | None -> v)
+      snapshot.Snapshot.servers
+  in
+  { snapshot with Snapshot.servers = servers }
+
+let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
+  let start = Unix.gettimeofday () in
+  let reservations = snapshot.Snapshot.reservations in
+  let phase1 =
+    Phases.run ~params:params.formulation ~mip_time_limit:params.phase1_time_limit_s
+      ~mip_node_limit:params.node_limit ~rack_level:false ?include_server snapshot
+      reservations
+  in
+  let assignment1 = Formulation.decode phase1.Phases.formulation phase1.Phases.solution in
+  let plan1 = Concretize.plan phase1.Phases.formulation assignment1 in
+  let targets = Hashtbl.create 1024 in
+  List.iter (fun (id, owner) -> Hashtbl.replace targets id owner) plan1.Concretize.targets;
+  (* ---- phase 2: rack refinement for the worst reservations ---- *)
+  let phase2 =
+    if not params.run_phase2 then None
+    else begin
+      let scored =
+        List.filter_map
+          (fun res ->
+            let overflow = rack_overflow snapshot targets res in
+            if overflow > 1e-6 then Some (overflow, res) else None)
+          reservations
+      in
+      if scored = [] then None
+      else begin
+        let scored = List.sort (fun (a, _) (b, _) -> compare b a) scored in
+        let quota =
+          Int.max 1 (int_of_float (params.phase2_fraction *. float_of_int (List.length reservations)))
+        in
+        let snapshot2_all = with_targets snapshot targets in
+        (* accumulate reservations while the grouped-variable estimate stays
+           under the cap (one variable per rack-level class x reservation) *)
+        let selected = ref [] and var_estimate = ref 0 in
+        List.iteri
+          (fun i (_, res) ->
+            if i < quota then begin
+              let owner = owner_of_res res in
+              let server_count =
+                Array.fold_left
+                  (fun acc (v : Snapshot.server_view) ->
+                    if v.Snapshot.usable && (v.Snapshot.current = owner || v.Snapshot.current = Broker.Free)
+                    then acc + 1
+                    else acc)
+                  0 snapshot2_all.Snapshot.servers
+              in
+              (* rack-level classes are at worst one per server *)
+              if !var_estimate + server_count <= params.phase2_var_cap then begin
+                selected := res :: !selected;
+                var_estimate := !var_estimate + server_count
+              end
+            end)
+          scored;
+        match !selected with
+        | [] -> None
+        | selected ->
+          let owners = List.map owner_of_res selected in
+          let user_filter =
+            match include_server with Some f -> f | None -> fun _ -> true
+          in
+          let include_server (v : Snapshot.server_view) =
+            (v.Snapshot.current = Broker.Free || List.mem v.Snapshot.current owners)
+            && user_filter v
+          in
+          let result =
+            Phases.run ~params:params.formulation
+              ~mip_time_limit:params.phase2_time_limit_s ~mip_node_limit:params.node_limit
+              ~rack_level:true ~include_server snapshot2_all selected
+          in
+          let assignment2 = Formulation.decode result.Phases.formulation result.Phases.solution in
+          let plan2 = Concretize.plan result.Phases.formulation assignment2 in
+          List.iter (fun (id, owner) -> Hashtbl.replace targets id owner) plan2.Concretize.targets;
+          Some result
+      end
+    end
+  in
+  (* ---- merge: moves relative to the original snapshot ---- *)
+  let moves = ref [] and target_list = ref [] in
+  Hashtbl.iter
+    (fun id owner ->
+      target_list := (id, owner) :: !target_list;
+      let v = snapshot.Snapshot.servers.(id) in
+      if v.Snapshot.current <> owner then
+        moves :=
+          {
+            Concretize.server = id;
+            from_ = v.Snapshot.current;
+            to_ = owner;
+            was_in_use = v.Snapshot.in_use;
+          }
+          :: !moves)
+    targets;
+  let plan =
+    {
+      Concretize.moves =
+        List.sort (fun a b -> compare a.Concretize.server b.Concretize.server) !moves;
+      targets = List.sort compare !target_list;
+    }
+  in
+  let shortfalls =
+    let base = Formulation.capacity_shortfalls phase1.Phases.formulation phase1.Phases.solution in
+    match phase2 with
+    | None -> base
+    | Some p2 ->
+      let selected_ids =
+        List.map (fun r -> r.Reservation.id) p2.Phases.formulation.Formulation.reservations
+      in
+      let p2_shortfalls =
+        Formulation.capacity_shortfalls p2.Phases.formulation p2.Phases.solution
+      in
+      List.filter (fun (rid, _) -> not (List.mem rid selected_ids)) base @ p2_shortfalls
+  in
+  let gap = phase1.Phases.outcome.Branch_bound.gap in
+  {
+    phase1;
+    phase2;
+    plan;
+    duration_s = Unix.gettimeofday () -. start;
+    shortfalls;
+    moves_in_use = Concretize.moves_in_use plan;
+    moves_unused = Concretize.moves_unused plan;
+    gap_preemptions =
+      (if Float.is_finite gap then gap /. params.formulation.Formulation.move_cost_in_use
+       else infinity);
+    proven_constraints_fixed =
+      Float.is_finite gap && gap < params.formulation.Formulation.capacity_slack_cost;
+  }

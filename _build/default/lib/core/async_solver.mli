@@ -1,0 +1,48 @@
+(** The Async Solver (Fig. 6, paper §3.5): a full region solve, run off the
+    critical path under a time budget, producing a server-to-reservation
+    binding plan.
+
+    Two-phase solving (§3.5.2): phase 1 optimizes the whole region at MSB
+    granularity (no rack goals, coarser symmetry classes); phase 2 re-solves
+    with rack goals for the worst ~10% of reservations by rack objective —
+    capped so the grouped variable count stays bounded — starting from the
+    phase-1 result, with every other reservation's servers frozen. *)
+
+type params = {
+  formulation : Formulation.params;
+  phase1_time_limit_s : float;
+  phase2_time_limit_s : float;
+  node_limit : int;  (** branch-and-bound nodes per phase *)
+  run_phase2 : bool;
+  phase2_fraction : float;  (** reservations refined in phase 2 *)
+  phase2_var_cap : int;  (** grouped assignment-variable cap for phase 2 *)
+}
+
+val default_params : params
+
+type stats = {
+  phase1 : Phases.result;
+  phase2 : Phases.result option;  (** [None] when no rack goal needed fixing *)
+  plan : Concretize.plan;  (** merged plan, moves relative to the snapshot *)
+  duration_s : float;  (** whole-solve wall clock (the Fig. 7 quantity) *)
+  shortfalls : (int * float) list;
+      (** per-reservation softened capacity violations still present *)
+  moves_in_use : int;
+  moves_unused : int;
+  gap_preemptions : float;
+      (** remaining optimality gap expressed in in-use server preemption
+          units (Fig. 9's x-axis is this cost scale) *)
+  proven_constraints_fixed : bool;
+      (** the bound proves no additional softened constraint could have been
+          fixed by running longer (Fig. 9: true for ~99% of solves) *)
+}
+
+val solve :
+  ?params:params ->
+  ?include_server:(Snapshot.server_view -> bool) ->
+  Snapshot.t ->
+  stats
+(** [include_server] restricts the assignable server pool (on top of the
+    availability constraint); used to roll RAS out to a subset of the fleet
+    while the rest stays under legacy management (Fig. 12's gradual
+    enablement). *)

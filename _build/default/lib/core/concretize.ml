@@ -1,0 +1,104 @@
+module Broker = Ras_broker.Broker
+
+type move = { server : int; from_ : Broker.owner; to_ : Broker.owner; was_in_use : bool }
+
+type plan = { moves : move list; targets : (int * Broker.owner) list }
+
+let owner_of_res res =
+  match res.Reservation.kind with
+  | Reservation.Guaranteed -> Broker.Reservation res.Reservation.id
+  | Reservation.Random_failure_buffer _ -> Broker.Shared_buffer
+
+let plan (f : Formulation.t) (assignment : Formulation.assignment) =
+  let snapshot = f.Formulation.symmetry.Symmetry.snapshot in
+  let current id = snapshot.Snapshot.servers.(id).Snapshot.current in
+  (* per class: quotas per owner *)
+  let quotas_of_class : (int, (Broker.owner * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (cls, res, count) ->
+      let owner = owner_of_res res in
+      let q =
+        match Hashtbl.find_opt quotas_of_class cls.Symmetry.index with
+        | Some q -> q
+        | None ->
+          let q = ref [] in
+          Hashtbl.replace quotas_of_class cls.Symmetry.index q;
+          q
+      in
+      q := (owner, count) :: !q)
+    assignment.Formulation.counts;
+  let moves = ref [] and targets = ref [] in
+  Array.iter
+    (fun (cls : Symmetry.cls) ->
+      let quotas =
+        match Hashtbl.find_opt quotas_of_class cls.Symmetry.index with
+        | Some q -> List.sort compare !q
+        | None -> []
+      in
+      let members = Array.to_list cls.Symmetry.members in
+      (* stability first: fill each owner's quota with servers it already has *)
+      let kept : (int, Broker.owner) Hashtbl.t = Hashtbl.create 16 in
+      let remaining_quota = ref [] in
+      List.iter
+        (fun (owner, want) ->
+          let have = List.filter (fun id -> current id = owner) members in
+          let keep, _ =
+            List.fold_left
+              (fun (acc, k) id -> if k < want then (id :: acc, k + 1) else (acc, k))
+              ([], 0) have
+          in
+          List.iter (fun id -> Hashtbl.replace kept id owner) keep;
+          let missing = want - List.length keep in
+          if missing > 0 then remaining_quota := (owner, missing) :: !remaining_quota)
+        quotas;
+      (* surplus pool: members not kept anywhere; free servers first, then by id *)
+      let surplus = List.filter (fun id -> not (Hashtbl.mem kept id)) members in
+      let free_first =
+        List.stable_sort
+          (fun a b ->
+            let fa = current a = Broker.Free and fb = current b = Broker.Free in
+            if fa = fb then compare a b else if fa then -1 else 1)
+          surplus
+      in
+      let pool = ref free_first in
+      List.iter
+        (fun (owner, missing) ->
+          let taken = ref 0 in
+          let rest = ref [] in
+          List.iter
+            (fun id ->
+              if !taken < missing then begin
+                Hashtbl.replace kept id owner;
+                incr taken
+              end
+              else rest := id :: !rest)
+            !pool;
+          pool := List.rev !rest)
+        (List.sort compare !remaining_quota);
+      (* whatever is left returns to the free pool *)
+      List.iter (fun id -> if not (Hashtbl.mem kept id) then Hashtbl.replace kept id Broker.Free) members;
+      List.iter
+        (fun id ->
+          let target = Hashtbl.find kept id in
+          targets := (id, target) :: !targets;
+          if target <> current id then
+            moves :=
+              {
+                server = id;
+                from_ = current id;
+                to_ = target;
+                was_in_use = snapshot.Snapshot.servers.(id).Snapshot.in_use;
+              }
+              :: !moves)
+        members)
+    f.Formulation.symmetry.Symmetry.classes;
+  {
+    moves = List.sort (fun a b -> compare a.server b.server) !moves;
+    targets = List.sort compare !targets;
+  }
+
+let moves_in_use plan =
+  List.fold_left (fun acc m -> if m.was_in_use then acc + 1 else acc) 0 plan.moves
+
+let moves_unused plan =
+  List.fold_left (fun acc m -> if m.was_in_use then acc else acc + 1) 0 plan.moves

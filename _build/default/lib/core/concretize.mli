@@ -1,0 +1,27 @@
+(** Turn the solver's per-class counts back into concrete server bindings.
+
+    Within a class all members are interchangeable, so the mapping is free
+    to prefer stability: members already owned by a reservation fill that
+    reservation's quota first, and only the surplus moves.  Free servers are
+    consumed before servers are taken away from other owners.  The result is
+    the solver output of Fig. 6 step 3: a target owner per server. *)
+
+type move = {
+  server : int;
+  from_ : Ras_broker.Broker.owner;
+  to_ : Ras_broker.Broker.owner;
+  was_in_use : bool;
+}
+
+type plan = {
+  moves : move list;  (** servers whose owner changes, ascending id *)
+  targets : (int * Ras_broker.Broker.owner) list;
+      (** target owner for every server the solve covered (including the
+          ones that stay put), ascending id *)
+}
+
+val plan : Formulation.t -> Formulation.assignment -> plan
+
+val moves_in_use : plan -> int
+
+val moves_unused : plan -> int

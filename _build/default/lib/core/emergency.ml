@@ -1,0 +1,36 @@
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+
+type grant = {
+  requested_rru : float;
+  granted_rru : float;
+  servers : int list;
+  took_from_buffer : int;
+}
+
+let grant broker ~reservation ~rru ~allow_buffer =
+  let owner = Broker.Reservation reservation.Reservation.id in
+  let granted = ref 0.0 and servers = ref [] and from_buffer = ref 0 in
+  let try_take ~source =
+    Broker.iter broker ~f:(fun r ->
+        if !granted < rru && r.Broker.current = source && Broker.healthy r && not r.Broker.in_use
+        then begin
+          let v = reservation.Reservation.rru_of r.Broker.server.Region.hw in
+          if v > 0.0 then begin
+            let id = r.Broker.server.Region.id in
+            Broker.move broker id owner;
+            Broker.set_target broker id owner;
+            granted := !granted +. v;
+            servers := id :: !servers;
+            if source = Broker.Shared_buffer then incr from_buffer
+          end
+        end)
+  in
+  try_take ~source:Broker.Free;
+  if !granted < rru && allow_buffer then try_take ~source:Broker.Shared_buffer;
+  {
+    requested_rru = rru;
+    granted_rru = !granted;
+    servers = List.rev !servers;
+    took_from_buffer = !from_buffer;
+  }

@@ -1,0 +1,180 @@
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+module Engine = Ras_sim.Engine
+module Unavail = Ras_failures.Unavail
+
+type apply_stats = { moved_in_use : int; moved_unused : int; skipped_unavailable : int }
+
+type t = {
+  broker : Broker.t;
+  engine : Engine.t option;
+  mutable reservations : Reservation.t list;
+  loans : (int, Broker.owner) Hashtbl.t;  (* lent server -> home owner *)
+  mutable preempt : int -> unit;
+  mutable replacements_done : int;
+  mutable replacements_failed : int;
+}
+
+let set_reservations t reservations = t.reservations <- reservations
+
+let on_preempt t f = t.preempt <- f
+
+let home_of t id = Hashtbl.find_opt t.loans id
+
+let reservation_of t id =
+  List.find_opt (fun r -> r.Reservation.id = id && not (Reservation.is_buffer r)) t.reservations
+
+(* Move one server, preempting its containers when in use and clearing any
+   loan bookkeeping. *)
+let do_move t id owner =
+  let r = Broker.record t.broker id in
+  if r.Broker.current <> owner then begin
+    if r.Broker.in_use then t.preempt id;
+    Hashtbl.remove t.loans id;
+    Broker.move t.broker id owner
+  end
+
+(* Replacement search: a healthy shared-buffer server the reservation can
+   use; same hardware subtype preferred.  Falls back to revoking an elastic
+   loan whose home is the shared buffer. *)
+let find_replacement t res ~failed_hw =
+  let candidate_score (r : Broker.record) ~lent =
+    (* a lent server may be reclaimed even while running opportunistic
+       containers — that is the elastic contract (§3.4) *)
+    if (not (Broker.healthy r)) || (r.Broker.in_use && not lent) then None
+    else begin
+      let hw = r.Broker.server.Region.hw in
+      if res.Reservation.rru_of hw <= 0.0 then None
+      else begin
+        let same_subtype = hw.Ras_topology.Hardware.index = failed_hw in
+        Some
+          ( (if same_subtype then 0 else 1),
+            (if lent then 1 else 0),
+            (if r.Broker.in_use then 1 else 0),
+            r.Broker.server.Region.id )
+      end
+    end
+  in
+  let best = ref None in
+  Broker.iter t.broker ~f:(fun r ->
+      let id = r.Broker.server.Region.id in
+      let scored =
+        match r.Broker.current with
+        | Broker.Shared_buffer -> candidate_score r ~lent:false
+        | Broker.Elastic _ when Hashtbl.find_opt t.loans id = Some Broker.Shared_buffer ->
+          candidate_score r ~lent:true
+        | Broker.Free | Broker.Reservation _ | Broker.Elastic _ -> None
+      in
+      match scored with
+      | Some score -> (
+        match !best with
+        | Some (s, _) when s <= score -> ()
+        | _ -> best := Some (score, id))
+      | None -> ());
+  Option.map snd !best
+
+let replace_failed t id =
+  let r = Broker.record t.broker id in
+  match r.Broker.current with
+  | Broker.Reservation rid -> (
+    match reservation_of t rid with
+    | None -> ()
+    | Some res -> (
+      let failed_hw = r.Broker.server.Region.hw.Ras_topology.Hardware.index in
+      match find_replacement t res ~failed_hw with
+      | Some replacement ->
+        do_move t replacement (Broker.Reservation rid);
+        Broker.set_target t.broker replacement (Broker.Reservation rid);
+        t.replacements_done <- t.replacements_done + 1
+      | None -> t.replacements_failed <- t.replacements_failed + 1))
+  | Broker.Free | Broker.Shared_buffer | Broker.Elastic _ -> ()
+
+let create ?engine broker =
+  let t =
+    {
+      broker;
+      engine;
+      reservations = [];
+      loans = Hashtbl.create 256;
+      preempt = (fun _ -> ());
+      replacements_done = 0;
+      replacements_failed = 0;
+    }
+  in
+  let on_event = function
+    (* random failures only: planned maintenance and correlated failures are
+       absorbed by capacity already inside the reservations (§3.3.1) *)
+    | Broker.Went_down (id, (Unavail.Unplanned_sw | Unavail.Unplanned_hw as kind)) -> (
+      ignore kind;
+      (* replacement within one minute (§3.3.1) *)
+      match t.engine with
+      | Some engine ->
+        Engine.schedule engine
+          ~at:(Engine.now engine +. (1.0 /. 60.0))
+          (fun _ ->
+            let r = Broker.record t.broker id in
+            if not (Broker.healthy r) then replace_failed t id)
+      | None -> replace_failed t id)
+    | Broker.Went_down _ | Broker.Came_up _ -> ()
+  in
+  Broker.subscribe broker on_event;
+  t
+
+let apply_plan t (plan : Concretize.plan) =
+  List.iter (fun (id, owner) -> Broker.set_target t.broker id owner) plan.Concretize.targets;
+  let stats = ref { moved_in_use = 0; moved_unused = 0; skipped_unavailable = 0 } in
+  List.iter
+    (fun (m : Concretize.move) ->
+      let r = Broker.record t.broker m.Concretize.server in
+      if not (Broker.available r) then
+        stats := { !stats with skipped_unavailable = !stats.skipped_unavailable + 1 }
+      else begin
+        let in_use = r.Broker.in_use in
+        do_move t m.Concretize.server m.Concretize.to_;
+        if in_use then stats := { !stats with moved_in_use = !stats.moved_in_use + 1 }
+        else stats := { !stats with moved_unused = !stats.moved_unused + 1 }
+      end)
+    plan.Concretize.moves;
+  !stats
+
+let lend_idle t ~elastic_id ~max_servers =
+  let lent = ref 0 in
+  Broker.iter t.broker ~f:(fun r ->
+      if
+        !lent < max_servers
+        && r.Broker.current = Broker.Shared_buffer
+        && Broker.healthy r
+        && not r.Broker.in_use
+      then begin
+        let id = r.Broker.server.Region.id in
+        Hashtbl.replace t.loans id Broker.Shared_buffer;
+        Broker.move t.broker id (Broker.Elastic elastic_id);
+        incr lent
+      end);
+  !lent
+
+let revoke t ~elastic_id =
+  let revoked = ref 0 in
+  let to_revoke =
+    Broker.fold t.broker ~init:[] ~f:(fun acc r ->
+        if r.Broker.current = Broker.Elastic elastic_id then r.Broker.server.Region.id :: acc
+        else acc)
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.loans id with
+      | Some home ->
+        let r = Broker.record t.broker id in
+        if r.Broker.in_use then t.preempt id;
+        Hashtbl.remove t.loans id;
+        Broker.move t.broker id home;
+        incr revoked
+      | None -> ())
+    to_revoke;
+  !revoked
+
+let loans_outstanding t = Hashtbl.length t.loans
+
+let replacements_done t = t.replacements_done
+
+let replacements_failed t = t.replacements_failed

@@ -1,0 +1,55 @@
+(** The Online Mover (Fig. 6): executes solver plans, provides replacement
+    servers within a minute of unplanned failures, and runs the two
+    efficiency optimizations of §3.2 — shared buffers and opportunistic
+    (elastic) capacity.
+
+    Elastic lending (§3.4) is an overlay: a lent server's broker owner
+    becomes [Elastic id] while the mover remembers its {e home} owner; the
+    Async Solver sees lent servers at their home owner (via {!home_of}), so
+    loans never perturb the optimization.  Whenever failure handling needs
+    buffer capacity, loans are revoked. *)
+
+type t
+
+type apply_stats = {
+  moved_in_use : int;  (** moves that preempted running containers *)
+  moved_unused : int;
+  skipped_unavailable : int;  (** planned moves whose server was down *)
+}
+
+val create : ?engine:Ras_sim.Engine.t -> Ras_broker.Broker.t -> t
+(** Subscribes to broker unavailability events.  With an engine, failure
+    replacements are scheduled one simulated minute after the failure (the
+    paper's replacement SLO); without one they happen synchronously. *)
+
+val set_reservations : t -> Reservation.t list -> unit
+(** The mover needs reservation specs to pick acceptable replacements. *)
+
+val on_preempt : t -> (int -> unit) -> unit
+(** Called with the server id before an in-use server changes owner; the
+    container allocator uses this to evict and re-queue containers. *)
+
+val apply_plan : t -> Concretize.plan -> apply_stats
+(** Execute the binding intent: set targets, then move every server whose
+    current owner differs.  Unavailable servers keep the recorded target and
+    are picked up by a later solve once they return. *)
+
+val home_of : t -> int -> Ras_broker.Broker.owner option
+(** Lending overlay for {!Snapshot.take}. *)
+
+val lend_idle : t -> elastic_id:int -> max_servers:int -> int
+(** Lend healthy, idle shared-buffer servers to an elastic reservation;
+    returns how many were lent. *)
+
+val revoke : t -> elastic_id:int -> int
+(** Return every loan of the elastic reservation to its home owner. *)
+
+val loans_outstanding : t -> int
+
+val replacements_done : t -> int
+(** Successful shared-buffer replacements since creation. *)
+
+val replacements_failed : t -> int
+(** Failures for which no acceptable buffer server (even after revoking
+    loans) was available — §5.4's "random failures exceeding planned
+    limits". *)

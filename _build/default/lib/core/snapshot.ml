@@ -1,0 +1,84 @@
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+
+type server_view = {
+  server : Region.server;
+  current : Broker.owner;
+  in_use : bool;
+  usable : bool;
+  attr : int;
+}
+
+type t = {
+  region : Region.t;
+  servers : server_view array;
+  reservations : Reservation.t list;
+}
+
+let take ?(home_of = fun _ -> None) ?(attr_of = fun _ -> 0) broker reservations =
+  let view (r : Broker.record) =
+    let id = r.Broker.server.Region.id in
+    let current =
+      match home_of id with Some home -> home | None -> r.Broker.current
+    in
+    {
+      server = r.Broker.server;
+      current;
+      in_use = r.Broker.in_use;
+      usable = Broker.available r;
+      attr = attr_of id;
+    }
+  in
+  let n = Broker.num_servers broker in
+  {
+    region = Broker.region broker;
+    servers = Array.init n (fun id -> view (Broker.record broker id));
+    reservations;
+  }
+
+let usable_servers t =
+  Array.fold_right (fun v acc -> if v.usable then v :: acc else acc) t.servers []
+
+let owned_by res v =
+  match v.current with
+  | Broker.Reservation id -> id = res.Reservation.id && not (Reservation.is_buffer res)
+  | Broker.Shared_buffer ->
+    (* buffer reservations are per hardware category, so category membership
+       identifies which buffer reservation holds the server *)
+    Reservation.is_buffer res && res.Reservation.rru_of v.server.Region.hw > 0.0
+  | Broker.Free | Broker.Elastic _ -> false
+
+let current_rru t res =
+  Array.fold_left
+    (fun acc v ->
+      if v.usable && owned_by res v then acc +. res.Reservation.rru_of v.server.Region.hw
+      else acc)
+    0.0 t.servers
+
+let rru_by_msb t res =
+  let out = Array.make t.region.Region.num_msbs 0.0 in
+  Array.iter
+    (fun v ->
+      if v.usable && owned_by res v then begin
+        let m = v.server.Region.loc.Region.msb in
+        out.(m) <- out.(m) +. res.Reservation.rru_of v.server.Region.hw
+      end)
+    t.servers;
+  out
+
+let rru_by_dc t res =
+  let out = Array.make t.region.Region.num_dcs 0.0 in
+  Array.iter
+    (fun v ->
+      if v.usable && owned_by res v then begin
+        let d = v.server.Region.loc.Region.dc in
+        out.(d) <- out.(d) +. res.Reservation.rru_of v.server.Region.hw
+      end)
+    t.servers;
+  out
+
+let max_msb_share t res =
+  let per_msb = rru_by_msb t res in
+  let total = Array.fold_left ( +. ) 0.0 per_msb in
+  if total <= 0.0 then nan
+  else Array.fold_left Float.max 0.0 per_msb /. total

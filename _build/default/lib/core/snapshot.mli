@@ -1,0 +1,52 @@
+(** Solver input: an immutable view of broker state plus the reservation
+    set, taken at the start of a solve (Fig. 6 step 2).
+
+    Servers that are down with an {e unplanned} event are excluded from the
+    assignable pool (the availability constraint, §3.5.1); servers under
+    planned maintenance remain assignable because their replacement capacity
+    is pre-baked into reservations. *)
+
+type server_view = {
+  server : Ras_topology.Region.server;
+  current : Ras_broker.Broker.owner;
+      (** home owner: elastic lending is resolved back to the lender before
+          the snapshot is taken *)
+  in_use : bool;
+  usable : bool;
+  attr : int;
+      (** generic placement attribute (0 = none): extra server state the
+          formulation prices, e.g. the SSD wear bucket of §5.2.  It is part
+          of the symmetry key, so non-zero attributes deliberately break
+          server symmetry — exactly the cost the paper warns new placement
+          goals carry *)
+}
+
+type t = {
+  region : Ras_topology.Region.t;
+  servers : server_view array;  (** indexed by server id *)
+  reservations : Reservation.t list;
+}
+
+val take :
+  ?home_of:(int -> Ras_broker.Broker.owner option) ->
+  ?attr_of:(int -> int) ->
+  Ras_broker.Broker.t ->
+  Reservation.t list ->
+  t
+(** [home_of id] resolves an elastically-lent server to its home owner
+    (provided by the Online Mover); defaults to no lending.  [attr_of id]
+    supplies the placement attribute (defaults to 0 everywhere). *)
+
+val usable_servers : t -> server_view list
+
+val current_rru : t -> Reservation.t -> float
+(** Usable RRU currently bound to the reservation. *)
+
+val rru_by_msb : t -> Reservation.t -> float array
+(** Usable RRU of the reservation per MSB. *)
+
+val rru_by_dc : t -> Reservation.t -> float array
+
+val max_msb_share : t -> Reservation.t -> float
+(** Largest per-MSB fraction of the reservation's current capacity — the
+    quantity Fig. 12 tracks; [nan] when the reservation holds nothing. *)

@@ -1,0 +1,84 @@
+module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
+module Broker = Ras_broker.Broker
+
+type cls = {
+  index : int;
+  msb : int;
+  rack : int option;
+  hw : int;
+  in_use : bool;
+  attr : int;
+  members : int array;
+}
+
+type t = { classes : cls array; region : Region.t; snapshot : Snapshot.t }
+
+type key = { kmsb : int; krack : int; khw : int; kuse : bool; kattr : int }
+
+let build ?(rack_level = false) ?(include_server = fun _ -> true) (snapshot : Snapshot.t) =
+  let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (v : Snapshot.server_view) ->
+      if v.Snapshot.usable && include_server v then begin
+        let loc = v.Snapshot.server.Region.loc in
+        let key =
+          {
+            kmsb = loc.Region.msb;
+            krack = (if rack_level then loc.Region.rack else -1);
+            khw = v.Snapshot.server.Region.hw.Hw.index;
+            kuse = v.Snapshot.in_use;
+            kattr = v.Snapshot.attr;
+          }
+        in
+        match Hashtbl.find_opt groups key with
+        | Some members -> members := v.Snapshot.server.Region.id :: !members
+        | None -> Hashtbl.replace groups key (ref [ v.Snapshot.server.Region.id ])
+      end)
+    snapshot.Snapshot.servers;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) groups [] in
+  let keys = List.sort compare keys in
+  let classes =
+    List.mapi
+      (fun index key ->
+        let members = Array.of_list (List.sort compare !(Hashtbl.find groups key)) in
+        {
+          index;
+          msb = key.kmsb;
+          rack = (if key.krack >= 0 then Some key.krack else None);
+          hw = key.khw;
+          in_use = key.kuse;
+          attr = key.kattr;
+          members;
+        })
+      keys
+  in
+  { classes = Array.of_list classes; region = snapshot.Snapshot.region; snapshot }
+
+let size c = Array.length c.members
+
+let hw_of c = Hw.catalog.(c.hw)
+
+let current_count t c owner =
+  Array.fold_left
+    (fun acc id ->
+      let v = t.snapshot.Snapshot.servers.(id) in
+      if v.Snapshot.current = owner then acc + 1 else acc)
+    0 c.members
+
+let num_classes t = Array.length t.classes
+
+let total_members t = Array.fold_left (fun acc c -> acc + size c) 0 t.classes
+
+let acceptable_count reservations hw =
+  List.fold_left
+    (fun acc r -> if Reservation.accepts r Hw.catalog.(hw) then acc + 1 else acc)
+    0 reservations
+
+let raw_variable_count t ~reservations =
+  Array.fold_left
+    (fun acc c -> acc + (size c * acceptable_count reservations c.hw))
+    0 t.classes
+
+let grouped_variable_count t ~reservations =
+  Array.fold_left (fun acc c -> acc + acceptable_count reservations c.hw) 0 t.classes

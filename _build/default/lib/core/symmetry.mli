@@ -1,0 +1,55 @@
+(** Server equivalence classes (paper §3.5.2, "Exploit symmetry").
+
+    Servers that are identical under the model — same hardware subtype, same
+    location scope, same in-use state — have identical coefficients in every
+    constraint and objective, so one integer count variable per (class,
+    reservation) replaces their individual binary assignment variables.
+
+    Phase 1 groups at MSB scope (rack ignored), which is what makes
+    region-scale problems tractable; phase 2 keys classes by rack for the
+    reservations it refines.  A server's current owner is {e not} part of
+    the key: the per-owner member counts give the movement baseline
+    [N0_{c,r}] instead, which keeps the class count independent of the
+    number of reservations. *)
+
+type cls = {
+  index : int;  (** dense index within the build *)
+  msb : int;
+  rack : int option;  (** [Some r] when built rack-level *)
+  hw : int;  (** hardware catalog index *)
+  in_use : bool;
+  attr : int;  (** generic placement attribute (e.g. SSD wear bucket) *)
+  members : int array;  (** server ids, ascending *)
+}
+
+type t = {
+  classes : cls array;
+  region : Ras_topology.Region.t;
+  snapshot : Snapshot.t;
+}
+
+val build :
+  ?rack_level:bool ->
+  ?include_server:(Snapshot.server_view -> bool) ->
+  Snapshot.t ->
+  t
+(** Classes over the snapshot's usable servers (optionally filtered
+    further).  Defaults: MSB-level, all usable servers. *)
+
+val size : cls -> int
+
+val hw_of : cls -> Ras_topology.Hardware.t
+
+val current_count : t -> cls -> Ras_broker.Broker.owner -> int
+(** [N0]: how many members are currently owned by the given owner. *)
+
+val num_classes : t -> int
+
+val total_members : t -> int
+
+val raw_variable_count : t -> reservations:Reservation.t list -> int
+(** Assignment variables a per-server formulation would need (|usable
+    servers| x |acceptable reservations|) — the paper's Fig. 10/11 x-axis. *)
+
+val grouped_variable_count : t -> reservations:Reservation.t list -> int
+(** Assignment variables after symmetry grouping. *)

@@ -1,0 +1,1 @@
+lib/failures/failure_model.ml: Array Float List Ras_stats Ras_topology Unavail

@@ -1,0 +1,1 @@
+lib/failures/failure_model.mli: Ras_stats Ras_topology Unavail

@@ -1,0 +1,1 @@
+lib/failures/unavail.ml: Array Format Printf Ras_topology

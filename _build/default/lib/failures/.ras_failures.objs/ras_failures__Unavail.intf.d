@@ -1,0 +1,1 @@
+lib/failures/unavail.mli: Format Ras_topology

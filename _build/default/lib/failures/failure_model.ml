@@ -1,0 +1,199 @@
+module Rng = Ras_stats.Rng
+module Dist = Ras_stats.Dist
+module Region = Ras_topology.Region
+
+type params = {
+  maintenance_cycle_days : float;
+  maintenance_hours : float;
+  sw_events_per_server_day : float;
+  sw_hours_mean : float;
+  hw_events_per_server_day : float;
+  hw_days_mean : float;
+  correlated_per_month : float;
+  correlated_hours_mean : float;
+  sw_spike_per_month : float;
+  sw_spike_fraction : float;
+}
+
+let default_params =
+  {
+    maintenance_cycle_days = 14.0;
+    maintenance_hours = 6.0;
+    (* ~0.3% down at a time with 3h mean duration => 0.024 arrivals/server/day *)
+    sw_events_per_server_day = 0.024;
+    sw_hours_mean = 3.0;
+    (* ~0.1% of fleet in repair, repairs last ~2 weeks *)
+    hw_events_per_server_day = 0.001 /. 14.0;
+    hw_days_mean = 14.0;
+    correlated_per_month = 1.0;
+    correlated_hours_mean = 12.0;
+    sw_spike_per_month = 1.5;
+    sw_spike_fraction = 0.03;
+  }
+
+let calm_params =
+  {
+    default_params with
+    sw_events_per_server_day = 0.0;
+    hw_events_per_server_day = 0.0;
+    correlated_per_month = 0.0;
+    sw_spike_per_month = 0.0;
+  }
+
+(* Rolling maintenance: each MSB gets one pass per cycle, staggered so MSBs
+   do not overlap unnecessarily; a pass runs four sequential batches of 25%
+   of the MSB's racks (§3.3.1: concurrent maintenance is limited to 25% of
+   an MSB). *)
+let maintenance_events rng region p ~horizon_days next_id =
+  let events = ref [] in
+  let cycle_h = p.maintenance_cycle_days *. 24.0 in
+  let horizon_h = horizon_days *. 24.0 in
+  let racks_of_msb =
+    Array.make region.Region.num_msbs []
+  in
+  Array.iteri
+    (fun r m -> racks_of_msb.(m) <- r :: racks_of_msb.(m))
+    region.Region.rack_msb;
+  for msb = 0 to region.Region.num_msbs - 1 do
+    let offset = Rng.float rng cycle_h in
+    let racks = Array.of_list racks_of_msb.(msb) in
+    let nracks = Array.length racks in
+    if nracks > 0 then begin
+      let batch = max 1 ((nracks + 3) / 4) in
+      let start = ref offset in
+      while !start < horizon_h do
+        for b = 0 to 3 do
+          let batch_start = !start +. (float_of_int b *. p.maintenance_hours) in
+          if batch_start < horizon_h then
+            for k = b * batch to min ((b + 1) * batch) nracks - 1 do
+              let id = !next_id in
+              incr next_id;
+              events :=
+                {
+                  Unavail.id;
+                  scope = Unavail.Rack racks.(k);
+                  kind = Unavail.Planned_maintenance;
+                  start_h = batch_start;
+                  duration_h = p.maintenance_hours;
+                }
+                :: !events
+            done
+        done;
+        start := !start +. cycle_h
+      done
+    end
+  done;
+  !events
+
+let poisson_stream rng ~rate_per_h ~horizon_h ~make =
+  let events = ref [] in
+  if rate_per_h > 0.0 then begin
+    let t = ref (Dist.exponential rng ~rate:rate_per_h) in
+    while !t < horizon_h do
+      events := make !t :: !events;
+      t := !t +. Dist.exponential rng ~rate:rate_per_h
+    done
+  end;
+  !events
+
+let generate rng region p ~horizon_days =
+  let horizon_h = horizon_days *. 24.0 in
+  let n = Region.num_servers region in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let maint = maintenance_events rng region p ~horizon_days next_id in
+  let sw =
+    poisson_stream rng
+      ~rate_per_h:(p.sw_events_per_server_day *. float_of_int n /. 24.0)
+      ~horizon_h
+      ~make:(fun t ->
+        {
+          Unavail.id = fresh ();
+          scope = Unavail.Server (Rng.int rng n);
+          kind = Unavail.Unplanned_sw;
+          start_h = t;
+          duration_h = Float.max 0.25 (Dist.exponential rng ~rate:(1.0 /. p.sw_hours_mean));
+        })
+  in
+  let hw =
+    poisson_stream rng
+      ~rate_per_h:(p.hw_events_per_server_day *. float_of_int n /. 24.0)
+      ~horizon_h
+      ~make:(fun t ->
+        {
+          Unavail.id = fresh ();
+          scope = Unavail.Server (Rng.int rng n);
+          kind = Unavail.Unplanned_hw;
+          start_h = t;
+          duration_h = 24.0 *. Float.max 1.0 (Dist.exponential rng ~rate:(1.0 /. p.hw_days_mean));
+        })
+  in
+  let correlated =
+    poisson_stream rng
+      ~rate_per_h:(p.correlated_per_month /. (30.0 *. 24.0))
+      ~horizon_h
+      ~make:(fun t ->
+        {
+          Unavail.id = fresh ();
+          scope = Unavail.Msb (Rng.int rng region.Region.num_msbs);
+          kind = Unavail.Correlated;
+          start_h = t;
+          duration_h =
+            Float.max 1.0 (Dist.exponential rng ~rate:(1.0 /. p.correlated_hours_mean));
+        })
+  in
+  (* Region-wide bad software pushes: many simultaneous single-server events
+     produce the >3% unplanned spikes of Fig. 5. *)
+  let spikes =
+    poisson_stream rng
+      ~rate_per_h:(p.sw_spike_per_month /. (30.0 *. 24.0))
+      ~horizon_h
+      ~make:(fun t ->
+        {
+          Unavail.id = fresh ();
+          scope = Unavail.Server (Rng.int rng n);
+          kind = Unavail.Unplanned_sw;
+          start_h = t;
+          duration_h = 1.0;
+        })
+  in
+  let expand_spike e =
+    (* replicate a spike seed across a random sample of servers *)
+    let count = int_of_float (p.sw_spike_fraction *. float_of_int n) in
+    List.init count (fun _ ->
+        {
+          Unavail.id = fresh ();
+          scope = Unavail.Server (Rng.int rng n);
+          kind = Unavail.Unplanned_sw;
+          start_h = e.Unavail.start_h;
+          duration_h = Dist.uniform rng ~lo:0.5 ~hi:2.0;
+        })
+  in
+  let spike_events = List.concat_map expand_spike spikes in
+  let all = maint @ sw @ hw @ correlated @ spike_events in
+  List.sort (fun a b -> compare a.Unavail.start_h b.Unavail.start_h) all
+
+let unavailable_fraction region events ~at ~kinds =
+  let n = Region.num_servers region in
+  if n = 0 then 0.0
+  else begin
+    let down = Array.make n false in
+    List.iter
+      (fun e ->
+        if List.mem e.Unavail.kind kinds && Unavail.active_at e at then
+          List.iter (fun s -> down.(s) <- true) (Unavail.servers_of region e))
+      events;
+    let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 down in
+    float_of_int count /. float_of_int n
+  end
+
+let series region events ~horizon_days ~window_h ~kinds =
+  let horizon_h = horizon_days *. 24.0 in
+  let windows = int_of_float (horizon_h /. window_h) in
+  Array.init windows (fun w ->
+      let t = (float_of_int w +. 0.5) *. window_h in
+      (t, unavailable_fraction region events ~at:t ~kinds))

@@ -1,0 +1,1 @@
+lib/mip/branch_bound.ml: Array Float List Model Presolve Simplex Unix

@@ -1,0 +1,1 @@
+lib/mip/branch_bound.mli: Model

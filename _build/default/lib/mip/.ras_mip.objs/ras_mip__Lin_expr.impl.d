@@ -1,0 +1,1 @@
+lib/mip/lin_expr.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/mip/lp_format.ml: Array Buffer Float List Model Printf String

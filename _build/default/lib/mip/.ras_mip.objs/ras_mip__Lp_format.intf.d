@@ -1,0 +1,1 @@
+lib/mip/lp_format.mli: Model

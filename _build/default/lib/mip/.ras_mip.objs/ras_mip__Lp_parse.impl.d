@@ -1,0 +1,1 @@
+lib/mip/lp_parse.ml: Array Buffer Hashtbl In_channel Lin_expr List Model Printf String

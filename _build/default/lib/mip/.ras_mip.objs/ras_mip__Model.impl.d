@@ -1,0 +1,1 @@
+lib/mip/model.ml: Array Float Format Lin_expr List Printf

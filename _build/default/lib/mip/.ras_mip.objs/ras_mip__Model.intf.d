@@ -1,0 +1,1 @@
+lib/mip/model.mli: Format Lin_expr

@@ -1,0 +1,1 @@
+lib/mip/mps_format.ml: Array Buffer Float Model Printf String

@@ -1,0 +1,1 @@
+lib/mip/mps_format.mli: Model

@@ -1,0 +1,1 @@
+lib/mip/presolve.ml: Array Float List Model Printf

@@ -1,0 +1,1 @@
+lib/mip/presolve.mli: Model

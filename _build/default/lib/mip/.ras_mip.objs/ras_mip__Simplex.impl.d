@@ -1,0 +1,1 @@
+lib/mip/simplex.ml: Array Float Model

@@ -1,0 +1,307 @@
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type options = {
+  time_limit : float;
+  node_limit : int;
+  gap_abs : float;
+  gap_rel : float;
+  int_tol : float;
+  heuristic_period : int;
+  initial : float array option;
+}
+
+let default_options =
+  {
+    time_limit = infinity;
+    node_limit = 100_000;
+    gap_abs = 1e-6;
+    gap_rel = 1e-9;
+    int_tol = 1e-6;
+    heuristic_period = 20;
+    initial = None;
+  }
+
+type outcome = {
+  status : status;
+  solution : float array option;
+  objective : float;
+  best_bound : float;
+  gap : float;
+  nodes : int;
+  lp_iterations : int;
+  elapsed : float;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Minimal binary min-heap keyed by node bound.                      *)
+
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let is_empty h = h.len = 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h key v =
+    if h.len = Array.length h.data then begin
+      let cap = max 16 (2 * h.len) in
+      let bigger = Array.make cap (key, v) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- (key, v);
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.data.(0) <- h.data.(h.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+          if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            swap h !i !smallest;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+
+  let min_key h = if h.len = 0 then None else Some (fst h.data.(0))
+end
+
+(* ---------------------------------------------------------------- *)
+
+type node = { nlb : float array; nub : float array; depth : int }
+
+let fractionality v = Float.abs (v -. Float.round v)
+
+(* Most-fractional branching: [fractionality] is the distance to the nearest
+   integer, so maximizing it picks the variable closest to half-integral. *)
+let pick_branch_var (std : Model.std) ~int_tol x =
+  let best = ref (-1) and best_score = ref int_tol in
+  for j = 0 to std.nvars - 1 do
+    if std.integer.(j) then begin
+      let score = fractionality x.(j) in
+      if score > !best_score then begin
+        best := j;
+        best_score := score
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+(* Nearest-integer rounding probe: clamp to node bounds; accept only if the
+   full solution checker passes. *)
+let rounding_probe (std : Model.std) node x =
+  let y = Array.copy x in
+  for j = 0 to std.nvars - 1 do
+    if std.integer.(j) then begin
+      let r = Float.round y.(j) in
+      let r = Float.max node.nlb.(j) (Float.min node.nub.(j) r) in
+      y.(j) <- r
+    end
+  done;
+  match Model.check_solution std y with
+  | Ok () ->
+    let obj = ref std.obj_offset in
+    for j = 0 to std.nvars - 1 do
+      obj := !obj +. (std.obj.(j) *. y.(j))
+    done;
+    Some (y, !obj)
+  | Error _ -> None
+
+let integral (std : Model.std) ~int_tol x =
+  let ok = ref true in
+  for j = 0 to std.nvars - 1 do
+    if std.integer.(j) && fractionality x.(j) > int_tol then ok := false
+  done;
+  !ok
+
+let tighten_integer_bounds (std : Model.std) lb ub =
+  for j = 0 to std.nvars - 1 do
+    if std.integer.(j) then begin
+      if Float.is_finite lb.(j) then lb.(j) <- Float.ceil (lb.(j) -. 1e-9);
+      if Float.is_finite ub.(j) then ub.(j) <- Float.floor (ub.(j) +. 1e-9)
+    end
+  done
+
+let solve_presolved ?(options = default_options) (std : Model.std) =
+  let start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. start in
+  let incumbent = ref None and incumbent_obj = ref infinity in
+  let nodes = ref 0 and lp_iters = ref 0 in
+  let inexact = ref false in
+  (* an LP node hit its iteration limit: optimality can no longer be proven *)
+  let open_nodes = Heap.create () in
+  let root_lb = Array.copy std.lb and root_ub = Array.copy std.ub in
+  tighten_integer_bounds std root_lb root_ub;
+  let update_incumbent x obj =
+    if obj < !incumbent_obj -. 1e-12 then begin
+      incumbent := Some x;
+      incumbent_obj := obj
+    end
+  in
+  let gap_closed bound =
+    Float.is_finite !incumbent_obj
+    && (!incumbent_obj -. bound <= options.gap_abs
+        || !incumbent_obj -. bound
+           <= options.gap_rel *. Float.max 1.0 (Float.abs !incumbent_obj))
+  in
+  let unbounded = ref false in
+  (* Node selection is best-bound with depth-first plunging: after branching,
+     the child on the rounding side of the fractional variable is explored
+     immediately (the plunge stack), which finds integral incumbents far
+     faster than pure best-first on near-integral allocation problems. *)
+  let plunge : (float * node) list ref = ref [] in
+  let process node parent_bound =
+    if parent_bound < !incumbent_obj && not (gap_closed parent_bound) then begin
+      incr nodes;
+      match Simplex.solve ~lb:node.nlb ~ub:node.nub std with
+      | Simplex.Infeasible _ -> ()
+      | Simplex.Unbounded -> unbounded := true
+      | Simplex.Iteration_limit _ -> inexact := true
+      | Simplex.Optimal { x; obj; iterations; _ } ->
+        lp_iters := !lp_iters + iterations;
+        if obj < !incumbent_obj -. options.gap_abs then begin
+          if integral std ~int_tol:options.int_tol x then begin
+            (* round off the tiny fractional noise before storing *)
+            let y = Array.copy x in
+            for j = 0 to std.nvars - 1 do
+              if std.integer.(j) then y.(j) <- Float.round y.(j)
+            done;
+            update_incumbent y obj
+          end
+          else begin
+            if !nodes mod options.heuristic_period = 1 then begin
+              match rounding_probe std node x with
+              | Some (y, hobj) -> update_incumbent y hobj
+              | None -> ()
+            end;
+            match pick_branch_var std ~int_tol:options.int_tol x with
+            | None -> ()
+            | Some j ->
+              let v = x.(j) in
+              let down_ub = Array.copy node.nub in
+              down_ub.(j) <- Float.floor v;
+              let up_lb = Array.copy node.nlb in
+              up_lb.(j) <- Float.ceil v;
+              let down_ok = Float.floor v >= node.nlb.(j) -. 1e-9 in
+              let up_ok = Float.ceil v <= node.nub.(j) +. 1e-9 in
+              let down = { nlb = node.nlb; nub = down_ub; depth = node.depth + 1 } in
+              let up = { nlb = up_lb; nub = node.nub; depth = node.depth + 1 } in
+              let frac = v -. Float.floor v in
+              let near, near_ok, far, far_ok =
+                if frac < 0.5 then (down, down_ok, up, up_ok)
+                else (up, up_ok, down, down_ok)
+              in
+              if far_ok then Heap.push open_nodes obj far;
+              if near_ok then plunge := (obj, near) :: !plunge
+          end
+        end
+    end
+  in
+  (match options.initial with
+  | Some x0 -> (
+    match Model.check_solution std x0 with
+    | Ok () ->
+      let obj = ref std.obj_offset in
+      for j = 0 to std.nvars - 1 do
+        obj := !obj +. (std.obj.(j) *. x0.(j))
+      done;
+      update_incumbent (Array.copy x0) !obj
+    | Error _ -> ())
+  | None -> ());
+  if options.node_limit > 0 then process { nlb = root_lb; nub = root_ub; depth = 0 } neg_infinity;
+  let max_plunge_depth = 100 in
+  let stop = ref !unbounded in
+  while not !stop do
+    if elapsed () > options.time_limit || !nodes >= options.node_limit then stop := true
+    else begin
+      (match !plunge with
+      | (bound, node) :: rest ->
+        plunge := rest;
+        if bound >= !incumbent_obj || gap_closed bound then ()
+        else if node.depth > max_plunge_depth then Heap.push open_nodes bound node
+        else process node bound
+      | [] -> (
+        match Heap.pop open_nodes with
+        | None -> stop := true
+        | Some (bound, node) ->
+          if bound >= !incumbent_obj || gap_closed bound then stop := true
+            (* best-first: every remaining node is at least this bad *)
+          else process node bound));
+      if !unbounded then stop := true
+    end
+  done;
+  (* drain the plunge stack into the heap so the final bound is correct *)
+  List.iter (fun (bound, node) -> Heap.push open_nodes bound node) !plunge;
+  let best_bound =
+    if !unbounded then neg_infinity
+    else
+      match Heap.min_key open_nodes with
+      | Some b -> Float.min b !incumbent_obj
+      | None -> !incumbent_obj
+  in
+  let status =
+    if !unbounded then Unbounded
+    else
+      match !incumbent with
+      | Some _ ->
+        if Heap.is_empty open_nodes && not !inexact then Optimal
+        else if gap_closed best_bound && not !inexact then Optimal
+        else Feasible
+      | None ->
+        if Heap.is_empty open_nodes && not !inexact then Infeasible else Unknown
+  in
+  {
+    status;
+    solution = !incumbent;
+    objective = !incumbent_obj;
+    best_bound;
+    gap = (if !incumbent = None then infinity else !incumbent_obj -. best_bound);
+    nodes = !nodes;
+    lp_iterations = !lp_iters;
+    elapsed = elapsed ();
+  }
+
+let solve ?(options = default_options) (std : Model.std) =
+  (* presolve first: bound tightening and row elimination are pure wins for
+     every node's LP, and trivially infeasible models are rejected without
+     touching the simplex *)
+  match Presolve.run std with
+  | Presolve.Proven_infeasible _ ->
+    {
+      status = Infeasible;
+      solution = None;
+      objective = infinity;
+      best_bound = infinity;
+      gap = infinity;
+      nodes = 0;
+      lp_iterations = 0;
+      elapsed = 0.0;
+    }
+  | Presolve.Reduced { std = reduced; fixed; _ } ->
+    let outcome = solve_presolved ~options reduced in
+    (match outcome.solution with
+    | Some x -> { outcome with solution = Some (Presolve.restore ~fixed x) }
+    | None -> outcome)

@@ -1,0 +1,48 @@
+(** Branch-and-bound mixed-integer solver over the {!Simplex} LP relaxation.
+
+    Nodes carry their own bound arrays; best-bound (best-first) node
+    selection; branching on the most fractional integer variable; a
+    nearest-integer rounding heuristic probes for incumbents.  The solver
+    honours wall-clock and node limits and reports the remaining optimality
+    gap — RAS deliberately runs its solver with a timeout and reasons about
+    the gap (paper §4.1.2, Fig. 9), so the gap is a first-class output. *)
+
+type status =
+  | Optimal  (** proven optimal within tolerances *)
+  | Feasible  (** stopped at a limit with an incumbent *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** stopped at a limit with no incumbent *)
+
+type options = {
+  time_limit : float;  (** seconds of wall clock; [infinity] disables *)
+  node_limit : int;
+  gap_abs : float;  (** stop when [incumbent - best_bound <= gap_abs] *)
+  gap_rel : float;  (** or [<= gap_rel * max 1 |incumbent|] *)
+  int_tol : float;  (** integrality tolerance on LP values *)
+  heuristic_period : int;  (** run the rounding heuristic every N nodes *)
+  initial : float array option;
+      (** a known feasible solution to seed the incumbent (checked with
+          {!Model.check_solution} and ignored when invalid) *)
+}
+
+val default_options : options
+(** [time_limit = infinity], [node_limit = 100_000], [gap_abs = 1e-6],
+    [gap_rel = 1e-9], [int_tol = 1e-6], [heuristic_period = 20], no initial
+    solution. *)
+
+type outcome = {
+  status : status;
+  solution : float array option;  (** incumbent, one entry per variable *)
+  objective : float;  (** incumbent objective; [infinity] when none *)
+  best_bound : float;  (** proven lower bound on the optimum *)
+  gap : float;  (** [objective - best_bound]; [infinity] when no incumbent *)
+  nodes : int;
+  lp_iterations : int;
+  elapsed : float;  (** seconds *)
+}
+
+val solve : ?options:options -> Model.std -> outcome
+(** Solves [min obj.x] over the compiled model, honouring integrality
+    markers.  A model with no integer variables reduces to a single LP
+    solve. *)

@@ -1,0 +1,70 @@
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" then "_" else s
+
+let to_buffer buf ?(name = "RAS") (std : Model.std) =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "NAME          %s\n" (sanitize name);
+  add "ROWS\n";
+  add " N  OBJ\n";
+  for i = 0 to std.Model.nrows - 1 do
+    let tag =
+      match std.Model.row_sense.(i) with Model.Le -> 'L' | Model.Ge -> 'G' | Model.Eq -> 'E'
+    in
+    add " %c  %s\n" tag (sanitize std.Model.row_names.(i))
+  done;
+  add "COLUMNS\n";
+  let in_integer_block = ref false in
+  let marker_count = ref 0 in
+  let set_integer flag =
+    if flag <> !in_integer_block then begin
+      incr marker_count;
+      add "    MARKER%d   'MARKER'                 '%s'\n" !marker_count
+        (if flag then "INTORG" else "INTEND");
+      in_integer_block := flag
+    end
+  in
+  for j = 0 to std.Model.nvars - 1 do
+    set_integer std.Model.integer.(j);
+    let vname = sanitize std.Model.var_names.(j) in
+    if std.Model.obj.(j) <> 0.0 then add "    %-10s OBJ       %.12g\n" vname std.Model.obj.(j);
+    let rows = std.Model.col_rows.(j) and coefs = std.Model.col_coefs.(j) in
+    for k = 0 to Array.length rows - 1 do
+      add "    %-10s %-10s %.12g\n" vname (sanitize std.Model.row_names.(rows.(k))) coefs.(k)
+    done
+  done;
+  set_integer false;
+  add "RHS\n";
+  for i = 0 to std.Model.nrows - 1 do
+    if std.Model.rhs.(i) <> 0.0 then
+      add "    RHS        %-10s %.12g\n" (sanitize std.Model.row_names.(i)) std.Model.rhs.(i)
+  done;
+  add "BOUNDS\n";
+  for j = 0 to std.Model.nvars - 1 do
+    let vname = sanitize std.Model.var_names.(j) in
+    let lo = std.Model.lb.(j) and hi = std.Model.ub.(j) in
+    if lo = hi then add " FX BND        %-10s %.12g\n" vname lo
+    else begin
+      (* MPS default is [0, +inf): only emit deviations *)
+      if Float.is_finite lo then begin
+        if lo <> 0.0 then add " LO BND        %-10s %.12g\n" vname lo
+      end
+      else add " MI BND        %-10s\n" vname;
+      if Float.is_finite hi then add " UP BND        %-10s %.12g\n" vname hi
+    end
+  done;
+  add "ENDATA\n"
+
+let to_string ?name std =
+  let buf = Buffer.create 4096 in
+  to_buffer buf ?name std;
+  Buffer.contents buf
+
+let to_channel ?name oc std = output_string oc (to_string ?name std)

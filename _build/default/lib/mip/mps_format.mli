@@ -1,0 +1,13 @@
+(** Free-form MPS writer for compiled models.
+
+    MPS is the oldest and most widely accepted exchange format for linear
+    and mixed-integer programs; emitting it lets any external solver consume
+    models built here (the LP format in {!Lp_format} is the more readable
+    sibling).  Sections emitted: [NAME], [ROWS], [COLUMNS] (with
+    [MARKER]/[INTORG]/[INTEND] for integer variables), [RHS], [BOUNDS] and
+    [ENDATA].  Like the LP writer, the constant objective offset has no
+    representation and is dropped. *)
+
+val to_string : ?name:string -> Model.std -> string
+
+val to_channel : ?name:string -> out_channel -> Model.std -> unit

@@ -1,0 +1,227 @@
+type result =
+  | Reduced of { std : Model.std; fixed : (int * float) list; dropped_rows : int }
+  | Proven_infeasible of string
+
+let tol = 1e-9
+
+(* Working representation: mutable bounds plus mutable row term lists (kept
+   as assoc lists var -> coef) with adjustable rhs and a live flag. *)
+type wrow = {
+  mutable terms : (int * float) list;
+  mutable rhs : float;
+  sense : Model.sense;
+  name : string;
+  mutable live : bool;
+}
+
+exception Infeasible of string
+
+let run (std : Model.std) =
+  let n = std.Model.nvars in
+  let lb = Array.copy std.Model.lb and ub = Array.copy std.Model.ub in
+  let obj = Array.copy std.Model.obj in
+  let obj_offset = ref std.Model.obj_offset in
+  let rows =
+    Array.init std.Model.nrows (fun i ->
+        {
+          terms =
+            Array.to_list
+              (Array.mapi (fun k c -> (std.Model.row_cols.(i).(k), c)) std.Model.row_coefs.(i));
+          rhs = std.Model.rhs.(i);
+          sense = std.Model.row_sense.(i);
+          name = std.Model.row_names.(i);
+          live = true;
+        })
+  in
+  let is_fixed = Array.make n false in
+  let changed = ref true in
+  let tighten_lb j v =
+    if v > lb.(j) +. tol then begin
+      lb.(j) <- v;
+      changed := true
+    end
+  in
+  let tighten_ub j v =
+    if v < ub.(j) -. tol then begin
+      ub.(j) <- v;
+      changed := true
+    end
+  in
+  let check_bounds j =
+    if lb.(j) > ub.(j) +. 1e-7 then
+      raise
+        (Infeasible
+           (Printf.sprintf "variable %s has empty domain [%g, %g]" std.Model.var_names.(j)
+              lb.(j) ub.(j)))
+  in
+  let round_integer j =
+    if std.Model.integer.(j) then begin
+      if Float.is_finite lb.(j) then begin
+        let r = Float.ceil (lb.(j) -. 1e-7) in
+        if r > lb.(j) +. tol then begin
+          lb.(j) <- r;
+          changed := true
+        end
+      end;
+      if Float.is_finite ub.(j) then begin
+        let r = Float.floor (ub.(j) +. 1e-7) in
+        if r < ub.(j) -. tol then begin
+          ub.(j) <- r;
+          changed := true
+        end
+      end
+    end
+  in
+  (* substitute a newly fixed variable out of every live row *)
+  let fix_variable j =
+    if not is_fixed.(j) then begin
+      is_fixed.(j) <- true;
+      let v = lb.(j) in
+      Array.iter
+        (fun r ->
+          if r.live then begin
+            match List.assoc_opt j r.terms with
+            | Some c ->
+              r.terms <- List.filter (fun (k, _) -> k <> j) r.terms;
+              r.rhs <- r.rhs -. (c *. v)
+            | None -> ()
+          end)
+        rows;
+      if obj.(j) <> 0.0 then begin
+        obj_offset := !obj_offset +. (obj.(j) *. v);
+        obj.(j) <- 0.0
+      end;
+      changed := true
+    end
+  in
+  let activity_bounds r =
+    List.fold_left
+      (fun (lo, hi) (j, c) ->
+        let term_lo, term_hi =
+          if c >= 0.0 then (c *. lb.(j), c *. ub.(j)) else (c *. ub.(j), c *. lb.(j))
+        in
+        (lo +. term_lo, hi +. term_hi))
+      (0.0, 0.0) r.terms
+  in
+  let dropped = ref 0 in
+  let drop r =
+    if r.live then begin
+      r.live <- false;
+      incr dropped;
+      changed := true
+    end
+  in
+  let rounds = ref 0 in
+  (try
+     while !changed && !rounds < 10 do
+       changed := false;
+       incr rounds;
+       for j = 0 to n - 1 do
+         round_integer j;
+         check_bounds j;
+         if (not is_fixed.(j)) && Float.is_finite lb.(j) && ub.(j) -. lb.(j) <= tol then
+           fix_variable j
+       done;
+       Array.iter
+         (fun r ->
+           if r.live then begin
+             match r.terms with
+             | [] ->
+               (* empty row: trivially true or the model is infeasible *)
+               let ok =
+                 match r.sense with
+                 | Model.Le -> 0.0 <= r.rhs +. 1e-7
+                 | Model.Ge -> 0.0 >= r.rhs -. 1e-7
+                 | Model.Eq -> Float.abs r.rhs <= 1e-7
+               in
+               if ok then drop r
+               else raise (Infeasible (Printf.sprintf "row %s is unsatisfiable" r.name))
+             | [ (j, c) ] when Float.abs c > tol ->
+               (* singleton row becomes a bound *)
+               let b = r.rhs /. c in
+               (match (r.sense, c > 0.0) with
+               | Model.Le, true | Model.Ge, false -> tighten_ub j b
+               | Model.Le, false | Model.Ge, true -> tighten_lb j b
+               | Model.Eq, _ ->
+                 tighten_lb j b;
+                 tighten_ub j b);
+               check_bounds j;
+               drop r
+             | _ ->
+               (* redundant-row detection from activity bounds *)
+               let lo, hi = activity_bounds r in
+               (match r.sense with
+               | Model.Le ->
+                 if hi <= r.rhs +. 1e-7 then drop r
+                 else if lo > r.rhs +. 1e-7 then
+                   raise (Infeasible (Printf.sprintf "row %s cannot be satisfied" r.name))
+               | Model.Ge ->
+                 if lo >= r.rhs -. 1e-7 then drop r
+                 else if hi < r.rhs -. 1e-7 then
+                   raise (Infeasible (Printf.sprintf "row %s cannot be satisfied" r.name))
+               | Model.Eq ->
+                 if lo > r.rhs +. 1e-7 || hi < r.rhs -. 1e-7 then
+                   raise (Infeasible (Printf.sprintf "row %s cannot be satisfied" r.name)))
+           end)
+         rows
+     done;
+     (* rebuild a compact std with identical variable indexing *)
+     let live_rows = Array.to_list rows |> List.filter (fun r -> r.live) in
+     let nrows = List.length live_rows in
+     let row_cols = Array.make nrows [||] and row_coefs = Array.make nrows [||] in
+     let row_sense = Array.make nrows Model.Le and rhs = Array.make nrows 0.0 in
+     let row_names = Array.make nrows "" in
+     List.iteri
+       (fun i r ->
+         let terms = List.sort compare r.terms in
+         row_cols.(i) <- Array.of_list (List.map fst terms);
+         row_coefs.(i) <- Array.of_list (List.map snd terms);
+         row_sense.(i) <- r.sense;
+         rhs.(i) <- r.rhs;
+         row_names.(i) <- r.name)
+       live_rows;
+     let col_count = Array.make n 0 in
+     Array.iter (Array.iter (fun j -> col_count.(j) <- col_count.(j) + 1)) row_cols;
+     let col_rows = Array.init n (fun j -> Array.make col_count.(j) 0) in
+     let col_coefs = Array.init n (fun j -> Array.make col_count.(j) 0.0) in
+     let fill = Array.make n 0 in
+     Array.iteri
+       (fun i cols ->
+         Array.iteri
+           (fun k j ->
+             col_rows.(j).(fill.(j)) <- i;
+             col_coefs.(j).(fill.(j)) <- row_coefs.(i).(k);
+             fill.(j) <- fill.(j) + 1)
+           cols)
+       row_cols;
+     let fixed = ref [] in
+     for j = n - 1 downto 0 do
+       if is_fixed.(j) then fixed := (j, lb.(j)) :: !fixed
+     done;
+     Reduced
+       {
+         std =
+           {
+             std with
+             Model.nrows;
+             obj;
+             obj_offset = !obj_offset;
+             lb;
+             ub;
+             row_sense;
+             rhs;
+             col_rows;
+             col_coefs;
+             row_cols;
+             row_coefs;
+             row_names;
+           };
+         fixed = !fixed;
+         dropped_rows = !dropped;
+       }
+   with Infeasible reason -> Proven_infeasible reason)
+
+let restore ~fixed solution =
+  let out = Array.copy solution in
+  List.iter (fun (j, v) -> out.(j) <- v) fixed;
+  out

@@ -1,0 +1,37 @@
+(** Presolve: problem reductions applied before the simplex / branch-and-
+    bound see the model.
+
+    Implemented reductions (applied to a fixed point, in rounds):
+
+    - {e fixed-variable elimination}: a variable with [lb = ub] is
+      substituted into every row and the objective;
+    - {e singleton rows}: a row with a single variable is a bound, which is
+      folded into the variable (and the row dropped);
+    - {e empty rows}: dropped when trivially satisfiable, or the model is
+      declared infeasible;
+    - {e bound tightening for integers}: fractional bounds on integer
+      variables are rounded inward;
+    - {e free-row removal}: rows whose activity bounds already imply the
+      constraint are dropped.
+
+    The result keeps the original variable indexing — eliminated variables
+    are simply fixed — so solutions need no back-mapping, only
+    {!restore}-ing the fixed values. *)
+
+type result =
+  | Reduced of {
+      std : Model.std;  (** same variable count, tightened bounds, fewer rows *)
+      fixed : (int * float) list;  (** variables proven to have one value *)
+      dropped_rows : int;
+    }
+  | Proven_infeasible of string  (** human-readable reason *)
+
+val run : Model.std -> result
+(** Apply all reductions to a fixed point.  The returned model is
+    equivalent: it has the same optimal objective value, and any of its
+    optimal solutions is optimal for the original after clamping fixed
+    variables (which the tightened bounds already enforce). *)
+
+val restore : fixed:(int * float) list -> float array -> float array
+(** Write the fixed values back into a solution vector (in place on a
+    copy). *)

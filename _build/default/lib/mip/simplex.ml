@@ -1,0 +1,521 @@
+type result =
+  | Optimal of { x : float array; obj : float; iterations : int; duals : float array }
+  | Infeasible of { infeasibility : int }
+  | Unbounded
+  | Iteration_limit of { feasible : bool; obj : float }
+
+(* Column status.  A column is either basic (its value is determined by the
+   basis equations) or nonbasic pinned at one of its bounds; free nonbasic
+   columns sit at zero. *)
+type status = Basic | At_lower | At_upper | Nb_free
+
+type state = {
+  std : Model.std;
+  m : int;
+  ntotal : int;  (* structural columns + one slack per row *)
+  lb : float array;
+  ub : float array;
+  obj : float array;
+  status : status array;
+  xval : float array;
+  basis : int array;  (* basis.(i) = column basic in row i *)
+  mutable binv : float array array;  (* dense basis inverse, m x m *)
+  feas_tol : float;
+  dual_tol : float;
+  pivot_tol : float;
+  mutable bland : bool;  (* anti-cycling mode *)
+  mutable degenerate_run : int;
+  mutable iterations : int;
+}
+
+(* -------------------------------------------------------------------- *)
+(* Column access: structural columns come from the compiled sparse form;
+   slack column [nvars + i] is the unit vector e_i.                      *)
+
+let col_iter st j f =
+  if j < st.std.nvars then begin
+    let rows = st.std.col_rows.(j) and coefs = st.std.col_coefs.(j) in
+    for k = 0 to Array.length rows - 1 do
+      f rows.(k) coefs.(k)
+    done
+  end
+  else f (j - st.std.nvars) 1.0
+
+(* alpha = B^-1 * A_j *)
+let ftran st j =
+  let alpha = Array.make st.m 0.0 in
+  let accum r c =
+    let brow_of i = st.binv.(i).(r) in
+    for i = 0 to st.m - 1 do
+      alpha.(i) <- alpha.(i) +. (brow_of i *. c)
+    done
+  in
+  col_iter st j accum;
+  alpha
+
+(* -------------------------------------------------------------------- *)
+(* Basis maintenance                                                     *)
+
+exception Singular_basis
+
+(* Rebuild the basis inverse from scratch by Gauss-Jordan elimination with
+   partial pivoting, then recompute basic values exactly.  Bounds numerical
+   drift from the product-form updates. *)
+let refactor st =
+  let m = st.m in
+  let b = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    col_iter st st.basis.(i) (fun r c -> b.(r).(i) <- c)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
+  for col = 0 to m - 1 do
+    (* partial pivot *)
+    let best = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs b.(r).(col) > Float.abs b.(!best).(col) then best := r
+    done;
+    if Float.abs b.(!best).(col) < 1e-12 then raise Singular_basis;
+    if !best <> col then begin
+      let tmp = b.(col) in b.(col) <- b.(!best); b.(!best) <- tmp;
+      let tmp = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- tmp
+    end;
+    let piv = b.(col).(col) in
+    for k = 0 to m - 1 do
+      b.(col).(k) <- b.(col).(k) /. piv;
+      inv.(col).(k) <- inv.(col).(k) /. piv
+    done;
+    for r = 0 to m - 1 do
+      if r <> col then begin
+        let f = b.(r).(col) in
+        if f <> 0.0 then
+          for k = 0 to m - 1 do
+            b.(r).(k) <- b.(r).(k) -. (f *. b.(col).(k));
+            inv.(r).(k) <- inv.(r).(k) -. (f *. inv.(col).(k))
+          done
+      end
+    done
+  done;
+  st.binv <- inv
+
+let recompute_basics st =
+  (* x_B = B^-1 (rhs - sum over nonbasic columns of A_j x_j) *)
+  let r = Array.copy st.std.rhs in
+  for j = 0 to st.ntotal - 1 do
+    if st.status.(j) <> Basic && st.xval.(j) <> 0.0 then begin
+      let v = st.xval.(j) in
+      col_iter st j (fun row c -> r.(row) <- r.(row) -. (c *. v))
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    let acc = ref 0.0 in
+    let brow = st.binv.(i) in
+    for k = 0 to st.m - 1 do
+      acc := !acc +. (brow.(k) *. r.(k))
+    done;
+    st.xval.(st.basis.(i)) <- !acc
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Pricing                                                               *)
+
+let infeasibility_of st b =
+  let x = st.xval.(b) in
+  if x < st.lb.(b) -. st.feas_tol then st.lb.(b) -. x
+  else if x > st.ub.(b) +. st.feas_tol then x -. st.ub.(b)
+  else 0.0
+
+let total_infeasibility st =
+  let total = ref 0.0 and count = ref 0 in
+  for i = 0 to st.m - 1 do
+    let v = infeasibility_of st st.basis.(i) in
+    if v > 0.0 then begin
+      total := !total +. v;
+      incr count
+    end
+  done;
+  (!total, !count)
+
+(* Phase-1 cost of the basic variable in row [i]: the gradient of its bound
+   violation.  Nonbasic columns always have zero phase-1 cost. *)
+let phase1_cost st i =
+  let b = st.basis.(i) in
+  let x = st.xval.(b) in
+  if x < st.lb.(b) -. st.feas_tol then -1.0
+  else if x > st.ub.(b) +. st.feas_tol then 1.0
+  else 0.0
+
+let dual_values st ~phase1 =
+  let y = Array.make st.m 0.0 in
+  for i = 0 to st.m - 1 do
+    let cb = if phase1 then phase1_cost st i else st.obj.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let brow = st.binv.(i) in
+      for k = 0 to st.m - 1 do
+        y.(k) <- y.(k) +. (cb *. brow.(k))
+      done
+    end
+  done;
+  y
+
+let reduced_cost st y ~phase1 j =
+  let c = if phase1 then 0.0 else st.obj.(j) in
+  let acc = ref c in
+  col_iter st j (fun r coef -> acc := !acc -. (y.(r) *. coef));
+  !acc
+
+(* Direction the entering variable would move, or None if it is not an
+   improving candidate.  Columns with a zero-width range never enter. *)
+let entering_direction st ~d j =
+  if st.ub.(j) -. st.lb.(j) <= 0.0 then None
+  else
+    match st.status.(j) with
+    | Basic -> None
+    | At_lower -> if d < -.st.dual_tol then Some 1.0 else None
+    | At_upper -> if d > st.dual_tol then Some (-1.0) else None
+    | Nb_free ->
+      if d < -.st.dual_tol then Some 1.0
+      else if d > st.dual_tol then Some (-1.0)
+      else None
+
+let choose_entering st y ~phase1 =
+  if st.bland then begin
+    (* Bland's rule: lowest-index improving column. *)
+    let rec scan j =
+      if j >= st.ntotal then None
+      else if st.status.(j) = Basic then scan (j + 1)
+      else
+        let d = reduced_cost st y ~phase1 j in
+        match entering_direction st ~d j with
+        | Some dir -> Some (j, dir)
+        | None -> scan (j + 1)
+    in
+    scan 0
+  end
+  else begin
+    let best = ref None and best_score = ref 0.0 in
+    for j = 0 to st.ntotal - 1 do
+      if st.status.(j) <> Basic then begin
+        let d = reduced_cost st y ~phase1 j in
+        match entering_direction st ~d j with
+        | Some dir ->
+          let score = Float.abs d in
+          if score > !best_score then begin
+            best_score := score;
+            best := Some (j, dir)
+          end
+        | None -> ()
+      end
+    done;
+    !best
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Ratio test                                                            *)
+
+type block =
+  | No_block
+  | Entering_flip of float
+  | Leaving of { row : int; step : float; bound : status }
+
+(* In phase 1 an infeasible basic variable only blocks when it reaches the
+   bound it violates (at which point it leaves the basis feasible); moving
+   away from feasibility never blocks because the pricing step already
+   accounted for that gradient. *)
+let ratio_test st alpha ~dir ~phase1 j =
+  let eps = st.pivot_tol in
+  let t_enter =
+    match st.status.(j) with
+    | Nb_free -> infinity
+    | _ ->
+      let range = st.ub.(j) -. st.lb.(j) in
+      if Float.is_finite range then range else infinity
+  in
+  let best_step = ref t_enter and best_row = ref (-1) and best_bound = ref At_lower in
+  let best_pivot = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let a = alpha.(i) in
+    if Float.abs a > eps then begin
+      let b = st.basis.(i) in
+      let delta = -.dir *. a in
+      let x = st.xval.(b) in
+      let lo = st.lb.(b) and hi = st.ub.(b) in
+      let candidate =
+        if phase1 && x < lo -. st.feas_tol then
+          (* below its lower bound: blocks only when climbing back to it *)
+          (if delta > eps then Some ((lo -. x) /. delta, At_lower) else None)
+        else if phase1 && x > hi +. st.feas_tol then
+          (if delta < -.eps then Some ((hi -. x) /. delta, At_upper) else None)
+        else if delta > eps then
+          (if Float.is_finite hi then Some ((hi -. x) /. delta, At_upper) else None)
+        else if Float.is_finite lo then Some ((lo -. x) /. delta, At_lower)
+        else None
+      in
+      match candidate with
+      | None -> ()
+      | Some (step, bound) ->
+        let step = max 0.0 step in
+        (* Prefer strictly smaller steps; on (near-)ties keep the row with
+           the largest pivot magnitude for numerical stability. *)
+        let better =
+          if !best_row < 0 then step <= !best_step
+          else if step < !best_step -. 1e-9 then true
+          else if step <= !best_step +. 1e-9 then Float.abs a > !best_pivot
+          else false
+        in
+        if better then begin
+          best_step := min step !best_step;
+          best_row := i;
+          best_bound := bound;
+          best_pivot := Float.abs a
+        end
+    end
+  done;
+  if !best_row >= 0 then Leaving { row = !best_row; step = !best_step; bound = !best_bound }
+  else if Float.is_finite t_enter then Entering_flip t_enter
+  else No_block
+
+(* -------------------------------------------------------------------- *)
+(* Pivot application                                                     *)
+
+let apply_move st alpha ~dir ~step j =
+  if step <> 0.0 then begin
+    st.xval.(j) <- st.xval.(j) +. (dir *. step);
+    for i = 0 to st.m - 1 do
+      let b = st.basis.(i) in
+      st.xval.(b) <- st.xval.(b) -. (alpha.(i) *. dir *. step)
+    done
+  end
+
+let pivot st alpha ~row j ~bound =
+  let leaving = st.basis.(row) in
+  st.status.(leaving) <- bound;
+  (* pin the leaving variable exactly on its bound to avoid drift *)
+  (st.xval.(leaving) <-
+     match bound with
+     | At_lower -> st.lb.(leaving)
+     | At_upper -> st.ub.(leaving)
+     | Basic | Nb_free -> st.xval.(leaving));
+  st.basis.(row) <- j;
+  st.status.(j) <- Basic;
+  let piv = alpha.(row) in
+  let brow = st.binv.(row) in
+  for k = 0 to st.m - 1 do
+    brow.(k) <- brow.(k) /. piv
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> row then begin
+      let f = alpha.(i) in
+      if f <> 0.0 then begin
+        let bi = st.binv.(i) in
+        for k = 0 to st.m - 1 do
+          bi.(k) <- bi.(k) -. (f *. brow.(k))
+        done
+      end
+    end
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Setup                                                                 *)
+
+let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_override (std : Model.std) =
+  let m = std.nrows in
+  let nvars = std.nvars in
+  let ntotal = nvars + m in
+  let lb = Array.make ntotal 0.0 and ub = Array.make ntotal 0.0 in
+  let slb = match lb_override with Some a -> a | None -> std.lb in
+  let sub = match ub_override with Some a -> a | None -> std.ub in
+  Array.blit slb 0 lb 0 nvars;
+  Array.blit sub 0 ub 0 nvars;
+  for i = 0 to m - 1 do
+    (* Row a.x + s = rhs: Le rows get s in [0, inf), Ge rows s in (-inf, 0],
+       Eq rows a fixed slack. *)
+    let j = nvars + i in
+    match std.row_sense.(i) with
+    | Model.Le ->
+      lb.(j) <- 0.0;
+      ub.(j) <- infinity
+    | Model.Ge ->
+      lb.(j) <- neg_infinity;
+      ub.(j) <- 0.0
+    | Model.Eq ->
+      lb.(j) <- 0.0;
+      ub.(j) <- 0.0
+  done;
+  let obj = Array.make ntotal 0.0 in
+  Array.blit std.obj 0 obj 0 nvars;
+  let status = Array.make ntotal At_lower in
+  let xval = Array.make ntotal 0.0 in
+  for j = 0 to nvars - 1 do
+    (* nonbasic start at the finite bound closest to zero; free columns at 0 *)
+    if Float.is_finite lb.(j) && (Float.abs lb.(j) <= Float.abs ub.(j) || not (Float.is_finite ub.(j))) then begin
+      status.(j) <- At_lower;
+      xval.(j) <- lb.(j)
+    end
+    else if Float.is_finite ub.(j) then begin
+      status.(j) <- At_upper;
+      xval.(j) <- ub.(j)
+    end
+    else begin
+      status.(j) <- Nb_free;
+      xval.(j) <- 0.0
+    end
+  done;
+  let basis = Array.init m (fun i -> nvars + i) in
+  for i = 0 to m - 1 do
+    status.(nvars + i) <- Basic
+  done;
+  let binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
+  let st =
+    {
+      std;
+      m;
+      ntotal;
+      lb;
+      ub;
+      obj;
+      status;
+      xval;
+      basis;
+      binv;
+      feas_tol;
+      dual_tol;
+      pivot_tol = 1e-9;
+      bland = false;
+      degenerate_run = 0;
+      iterations = 0;
+    }
+  in
+  recompute_basics st;
+  st
+
+let objective_value st =
+  let acc = ref st.std.obj_offset in
+  for j = 0 to st.std.nvars - 1 do
+    acc := !acc +. (st.std.obj.(j) *. st.xval.(j))
+  done;
+  !acc
+
+let extract st = Array.sub st.xval 0 st.std.nvars
+
+(* Trivial case: no constraints means each variable sits at whichever bound
+   minimizes its objective coefficient. *)
+let solve_unconstrained std lb ub =
+  let n = (std : Model.std).nvars in
+  let x = Array.make n 0.0 in
+  let unbounded = ref false in
+  for j = 0 to n - 1 do
+    let c = std.obj.(j) in
+    if c > 0.0 then
+      if Float.is_finite lb.(j) then x.(j) <- lb.(j) else unbounded := true
+    else if c < 0.0 then
+      if Float.is_finite ub.(j) then x.(j) <- ub.(j) else unbounded := true
+    else if Float.is_finite lb.(j) && lb.(j) > 0.0 then x.(j) <- lb.(j)
+    else if Float.is_finite ub.(j) && ub.(j) < 0.0 then x.(j) <- ub.(j)
+  done;
+  if !unbounded then Unbounded
+  else begin
+    let obj = ref std.obj_offset in
+    for j = 0 to n - 1 do
+      obj := !obj +. (std.obj.(j) *. x.(j))
+    done;
+    Optimal { x; obj = !obj; iterations = 0; duals = [||] }
+  end
+
+let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.std) =
+  (* A variable fixed-range check also covers per-node bound conflicts. *)
+  let lbs = match lb with Some a -> a | None -> std.lb in
+  let ubs = match ub with Some a -> a | None -> std.ub in
+  let conflict = ref false in
+  for j = 0 to std.nvars - 1 do
+    if lbs.(j) > ubs.(j) +. feas_tol then conflict := true
+  done;
+  if !conflict then Infeasible { infeasibility = 1 }
+  else if std.nrows = 0 then solve_unconstrained std lbs ubs
+  else begin
+    let st = initial_state ~feas_tol ~dual_tol ?lb_override:lb ?ub_override:ub std in
+    let max_iters =
+      match max_iters with
+      | Some n -> n
+      | None -> 20000 + (60 * (st.m + st.ntotal))
+    in
+    let refactor_every = 300 in
+    let since_refactor = ref 0 in
+    let result = ref None in
+    while !result = None && st.iterations < max_iters do
+      st.iterations <- st.iterations + 1;
+      if !since_refactor >= refactor_every then begin
+        (try refactor st with Singular_basis -> ());
+        recompute_basics st;
+        since_refactor := 0
+      end;
+      let _, infeas_count = total_infeasibility st in
+      let phase1 = infeas_count > 0 in
+      let y = dual_values st ~phase1 in
+      match choose_entering st y ~phase1 with
+      | None ->
+        if phase1 then begin
+          (* Confirm infeasibility on a freshly factorized basis. *)
+          if !since_refactor > 0 then begin
+            (try refactor st with Singular_basis -> ());
+            recompute_basics st;
+            since_refactor := 0;
+            let _, recount = total_infeasibility st in
+            if recount > 0 then result := Some (Infeasible { infeasibility = recount })
+          end
+          else result := Some (Infeasible { infeasibility = infeas_count })
+        end
+        else if !since_refactor > 0 then begin
+          (* Confirm optimality on a fresh factorization. *)
+          (try refactor st with Singular_basis -> ());
+          recompute_basics st;
+          since_refactor := 0
+        end
+        else begin
+          let duals = dual_values st ~phase1:false in
+          result :=
+            Some
+              (Optimal
+                 { x = extract st; obj = objective_value st; iterations = st.iterations; duals })
+        end
+      | Some (j, dir) -> begin
+        let alpha = ftran st j in
+        match ratio_test st alpha ~dir ~phase1 j with
+        | No_block ->
+          if phase1 then begin
+            (* Numerically suspect: refactor and retry; a persistent miss is
+               reported as infeasible rather than looping forever. *)
+            (try refactor st with Singular_basis -> ());
+            recompute_basics st;
+            if !since_refactor = 0 then
+              result := Some (Infeasible { infeasibility = infeas_count });
+            since_refactor := 0
+          end
+          else result := Some Unbounded
+        | Entering_flip step ->
+          apply_move st alpha ~dir ~step j;
+          (st.status.(j) <-
+             match st.status.(j) with
+             | At_lower -> At_upper
+             | At_upper -> At_lower
+             | s -> s);
+          incr since_refactor
+        | Leaving { row; step; bound } ->
+          if step <= st.feas_tol then begin
+            st.degenerate_run <- st.degenerate_run + 1;
+            if st.degenerate_run > 100 then st.bland <- true
+          end
+          else begin
+            st.degenerate_run <- 0;
+            st.bland <- false
+          end;
+          apply_move st alpha ~dir ~step j;
+          pivot st alpha ~row j ~bound;
+          incr since_refactor
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+      let _, infeas_count = total_infeasibility st in
+      Iteration_limit { feasible = infeas_count = 0; obj = objective_value st }
+  end

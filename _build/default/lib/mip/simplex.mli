@@ -1,0 +1,50 @@
+(** Bounded-variable primal simplex for linear programs in {!Model.std} form.
+
+    The implementation is a revised simplex with an explicitly maintained
+    dense basis inverse:
+
+    - slack columns are appended internally (one per row) so the working
+      problem is [min c.x  s.t.  Ax + s = b] with bounds on every column;
+    - infeasible starts are handled by a piecewise-linear phase 1 that
+      minimizes the total bound violation of basic variables (no artificial
+      columns are added);
+    - pricing is Dantzig's rule with an automatic switch to Bland's rule
+      after a run of degenerate pivots, which guarantees termination;
+    - the basis inverse is refactorized (rebuilt by Gauss–Jordan elimination
+      from the current basis) periodically and before declaring optimality,
+      bounding numerical drift.
+
+    Integrality markers in the input are ignored: this is the LP relaxation
+    solver used by {!Branch_bound}. *)
+
+type result =
+  | Optimal of {
+      x : float array;
+      obj : float;
+      iterations : int;
+      duals : float array;
+    }
+      (** [x] has one entry per structural variable; [obj] includes the
+          model's objective offset; [duals] holds one simplex multiplier per
+          row — the shadow price of the constraint at the optimum (zero for
+          non-binding rows). *)
+  | Infeasible of { infeasibility : int }
+      (** Phase 1 converged with the given number of still-violated basic
+          variables. *)
+  | Unbounded
+  | Iteration_limit of { feasible : bool; obj : float }
+      (** The iteration budget ran out; [obj] is meaningful only when
+          [feasible]. *)
+
+val solve :
+  ?max_iters:int ->
+  ?feas_tol:float ->
+  ?dual_tol:float ->
+  ?lb:float array ->
+  ?ub:float array ->
+  Model.std ->
+  result
+(** [solve std] solves the LP relaxation.  [lb]/[ub] override the structural
+    variable bounds without touching [std] (this is how branch-and-bound
+    explores nodes).  Defaults: [max_iters] scales with problem size,
+    [feas_tol = 1e-7], [dual_tol = 1e-7]. *)

@@ -1,0 +1,58 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.data then begin
+    let cap = max 16 (2 * t.len) in
+    let bigger = Array.make cap entry in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- entry;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  while !i > 0 && before t.data.(!i) t.data.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.data.(0).time

@@ -1,0 +1,25 @@
+type t = (string, Ras_stats.Timeseries.t) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let series t name =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None ->
+    let s = Ras_stats.Timeseries.create ~name in
+    Hashtbl.replace t name s;
+    s
+
+let record t name ~time v = Ras_stats.Timeseries.record (series t name) ~time v
+
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let find t name = Hashtbl.find_opt t name
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match find t name with
+      | Some s -> Format.fprintf ppf "%a@." (Ras_stats.Timeseries.pp_table ?max_rows:None) s
+      | None -> ())
+    (names t)

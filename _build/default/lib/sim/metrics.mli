@@ -1,0 +1,19 @@
+(** Named metric registry: each metric is a {!Ras_stats.Timeseries.t} keyed
+    by name.  Scenario code records into it; benchmark code reads the series
+    out to print the paper's figures. *)
+
+type t
+
+val create : unit -> t
+
+val series : t -> string -> Ras_stats.Timeseries.t
+(** Get-or-create. *)
+
+val record : t -> string -> time:float -> float -> unit
+
+val names : t -> string list
+(** Sorted. *)
+
+val find : t -> string -> Ras_stats.Timeseries.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Array Hardware List Ras_stats Region

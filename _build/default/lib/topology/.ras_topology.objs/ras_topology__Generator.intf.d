@@ -1,0 +1,1 @@
+lib/topology/generator.mli: Region

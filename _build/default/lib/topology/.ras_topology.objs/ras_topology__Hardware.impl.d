@@ -1,0 +1,1 @@
+lib/topology/hardware.ml: Array Format

@@ -1,0 +1,1 @@
+lib/topology/hardware.mli: Format

@@ -1,0 +1,1 @@
+lib/topology/region.ml: Array Format Hardware

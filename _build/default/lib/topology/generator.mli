@@ -1,0 +1,40 @@
+(** Synthetic region builder.
+
+    Reproduces the structural properties the paper's evaluation depends on:
+
+    - MSBs differ in hardware mixture, and the mixture is skewed by MSB age
+      (Fig. 2): the oldest MSBs carry generation-1 hardware that is absent
+      from the newest ones, and vice versa — which is what forces some
+      services off some MSBs in Fig. 13;
+    - racks are hardware-homogeneous, as in real fleets;
+    - datacenters receive MSBs in an interleaved deployment order.
+
+    Generation is deterministic in the seed. *)
+
+type params = {
+  name : string;
+  num_dcs : int;
+  msbs_per_dc : int;
+  racks_per_msb : int;
+  servers_per_rack : int;
+  seed : int;
+}
+
+val default_params : params
+(** 4 datacenters, 9 MSBs each (36 total, like the production region of
+    §3.3.1), 12 racks per MSB, 12 servers per rack. *)
+
+val small_params : params
+(** A laptop-scale region for tests and the quickstart example: 2 DCs,
+    3 MSBs each, 4 racks per MSB, 6 servers per rack. *)
+
+val generate : params -> Region.t
+
+val extend : Region.t -> new_msbs_per_dc:int -> racks_per_msb:int -> servers_per_rack:int -> seed:int -> Region.t
+(** Append newly deployed MSBs to every datacenter, keeping all existing
+    indices stable (servers, racks and MSBs only ever gain entries).  The
+    new MSBs are the youngest and carry the newest hardware mixture.  Fig. 12
+    uses this to model the mid-experiment datacenter expansion. *)
+
+val age_of_msb : Region.t -> int -> float
+(** Deployment age in [0, 1]: 0 = oldest MSB of the region, 1 = newest. *)

@@ -1,0 +1,1 @@
+lib/twine/allocator.ml: Hashtbl Job List Printf Ras_broker Ras_topology

@@ -1,0 +1,1 @@
+lib/twine/allocator.mli: Job Ras_broker Ras_topology

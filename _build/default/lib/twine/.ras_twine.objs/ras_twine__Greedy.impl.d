@@ -1,0 +1,1 @@
+lib/twine/greedy.ml: Float List Ras_broker Ras_topology Ras_workload

@@ -1,0 +1,1 @@
+lib/twine/greedy.mli: Ras_broker Ras_workload

@@ -1,0 +1,1 @@
+lib/twine/job.ml: List

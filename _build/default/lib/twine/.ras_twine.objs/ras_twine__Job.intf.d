@@ -1,0 +1,1 @@
+lib/twine/job.mli:

@@ -1,0 +1,59 @@
+(** In-reservation container allocator (the "Twine Allocator & Scheduler" box
+    of Fig. 6).
+
+    Works exclusively within a single reservation (§5.4 "rigid capacity
+    boundaries"): candidate servers are those whose broker [current] owner is
+    the reservation and which are healthy.  Placement is capacity-based
+    stacking — a server hosts containers up to its RRU value for the
+    reservation's service — with optional MSB spread so a job survives a
+    correlated failure.
+
+    The allocator reacts to broker unavailability events by re-placing the
+    containers of a failed server onto remaining capacity (the buffer servers
+    RAS embedded into the reservation). *)
+
+type t
+
+type failure_stats = { replaced : int; stranded : int }
+(** Containers successfully re-placed vs. left pending after unavailability
+    (stranded containers are retried on the next placement call). *)
+
+val create :
+  Ras_broker.Broker.t ->
+  reservation:int ->
+  rru_of:(Ras_topology.Hardware.t -> float) ->
+  t
+(** The allocator subscribes itself to broker unavailability events. *)
+
+val reservation : t -> int
+
+val place_job : t -> Job.t -> (unit, string) result
+(** Place all replicas.  Fails (placing nothing) when the reservation lacks
+    capacity; the error names the shortfall.  Raises [Invalid_argument] if
+    the job references a different reservation. *)
+
+val stop_job : t -> Job.t -> unit
+(** Remove all of the job's containers; servers left empty are marked not
+    in-use. *)
+
+val placed_containers : t -> int
+
+val pending_containers : t -> int
+(** Containers displaced by failures and not yet re-placed. *)
+
+val retry_pending : t -> failure_stats
+(** Attempt to place pending containers (called after replacement capacity
+    arrives). *)
+
+val evict_server : t -> int -> unit
+(** Preempt every container on the server (they become pending).  The Online
+    Mover calls this before moving an in-use server to another owner. *)
+
+val server_of_container : t -> Job.container -> int option
+
+val used_rru : t -> float
+
+val capacity_rru : t -> float
+(** Total RRU of healthy servers currently owned by the reservation. *)
+
+val servers_in_use : t -> int list

@@ -1,0 +1,1 @@
+lib/workload/capacity_request.ml: Array Format Ras_topology Service

@@ -1,0 +1,1 @@
+lib/workload/capacity_request.mli: Format Service

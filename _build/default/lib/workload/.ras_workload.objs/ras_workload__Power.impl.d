@@ -1,0 +1,1 @@
+lib/workload/power.ml: Array Ras_topology

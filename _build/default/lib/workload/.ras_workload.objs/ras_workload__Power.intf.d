@@ -1,0 +1,1 @@
+lib/workload/power.mli: Ras_topology

@@ -1,0 +1,1 @@
+lib/workload/request_gen.ml: Array Capacity_request Float List Ras_stats Ras_topology Service

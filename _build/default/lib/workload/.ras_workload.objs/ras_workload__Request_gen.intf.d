@@ -1,0 +1,1 @@
+lib/workload/request_gen.mli: Capacity_request Ras_stats Ras_topology Service

@@ -1,0 +1,1 @@
+lib/workload/service.ml: Array List Printf Ras_topology

@@ -1,0 +1,1 @@
+lib/workload/service.mli: Ras_topology

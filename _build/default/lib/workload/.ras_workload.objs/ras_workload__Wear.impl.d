@@ -1,0 +1,1 @@
+lib/workload/wear.ml: Array Float Ras_stats Ras_topology Stdlib

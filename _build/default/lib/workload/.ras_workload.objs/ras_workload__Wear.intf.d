@@ -1,0 +1,1 @@
+lib/workload/wear.mli: Ras_stats Ras_topology

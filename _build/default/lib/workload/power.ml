@@ -1,0 +1,46 @@
+module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
+
+type usage = Idle_free | Assigned_idle | Assigned_busy
+
+let draw_watts hw usage =
+  let fraction =
+    match usage with Idle_free -> 0.30 | Assigned_idle -> 0.55 | Assigned_busy -> 0.88
+  in
+  fraction *. hw.Hw.power_watts
+
+let msb_power region ~usage_of =
+  let totals = Array.make region.Region.num_msbs 0.0 in
+  Array.iter
+    (fun s ->
+      let w = draw_watts s.Region.hw (usage_of s) in
+      totals.(s.Region.loc.Region.msb) <- totals.(s.Region.loc.Region.msb) +. w)
+    region.Region.servers;
+  totals
+
+let normalized_variance values =
+  let n = Array.length values in
+  if n = 0 then nan
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 values /. float_of_int n in
+    if mean = 0.0 then nan
+    else begin
+      let var =
+        Array.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values
+        /. float_of_int n
+      in
+      var /. (mean *. mean)
+    end
+  end
+
+let headroom ~capacity_watts ~draw_watts =
+  let n = Array.length capacity_watts in
+  if n = 0 || Array.length draw_watts <> n then invalid_arg "Power.headroom: length mismatch";
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    if capacity_watts.(i) > 0.0 then begin
+      let h = (capacity_watts.(i) -. draw_watts.(i)) /. capacity_watts.(i) in
+      if h < !best then best := h
+    end
+  done;
+  !best

@@ -1,0 +1,95 @@
+module Rng = Ras_stats.Rng
+module Dist = Ras_stats.Dist
+module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
+
+type sized_request = { units : float; hw_types : int }
+
+(* Fig. 4: most requests can be served by exactly one hardware type (the
+   newest generation) or by ~8 types; a small tail accepts 10-12.  Sizes are
+   log-normal, median a few hundred units, clipped to [1, 30000]. *)
+let paper_distribution rng ~n =
+  let flexibility_weights =
+    [| 0.28; 0.04; 0.05; 0.06; 0.07; 0.06; 0.08; 0.22; 0.05; 0.04; 0.03; 0.02 |]
+  in
+  let sample () =
+    let hw_types = 1 + Dist.categorical rng flexibility_weights in
+    let units = Dist.lognormal rng ~mu:(log 300.0) ~sigma:1.6 in
+    let units = Float.max 1.0 (Float.min 30_000.0 (Float.round units)) in
+    { units; hw_types }
+  in
+  List.init n (fun _ -> sample ())
+
+let scenario rng ~region ~services ~target_utilization =
+  let services = Array.of_list services in
+  let n = Array.length services in
+  if n = 0 then []
+  else begin
+    (* Zipf-weighted virtual assignment of every server to a service that
+       accepts it; the accumulated RRU per service is a capacity demand that
+       is feasible by construction (the virtual assignment realizes it). *)
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) 0.8) in
+    let acc = Array.make n 0.0 in
+    let shuffled = Array.copy region.Region.servers in
+    Rng.shuffle rng shuffled;
+    Array.iter
+      (fun s ->
+        let candidate_weights =
+          Array.init n (fun i ->
+              if Service.rru_of services.(i) s.Region.hw > 0.0 then weights.(i) else 0.0)
+        in
+        let any = Array.exists (fun w -> w > 0.0) candidate_weights in
+        if any then begin
+          let i = Dist.categorical rng candidate_weights in
+          acc.(i) <- acc.(i) +. Service.rru_of services.(i) s.Region.hw
+        end)
+      shuffled;
+    let requests = ref [] in
+    for i = n - 1 downto 0 do
+      let rru = target_utilization *. acc.(i) in
+      if rru >= 1.0 then begin
+        let service = services.(i) in
+        (* a +/- theta affinity window only makes sense when it is wider
+           than one server's RRU value; small services skip the constraint *)
+        let dc_affinity =
+          match service.Service.data_locality with
+          | Some dc when dc < region.Region.num_dcs && rru >= 15.0 -> [ (dc, 0.8) ]
+          | Some _ | None -> []
+        in
+        (* reservations worth only a server or two cannot meaningfully embed
+           an MSB-loss buffer at simulation scale; like the paper's small
+           count-based requests they take plain capacity.  Large storage
+           services use quorum spread (paragraph 3.3.2) instead of an
+           embedded buffer: their redundancy absorbs the MSB loss. *)
+        let is_storage = service.Service.profile = Service.Data_store in
+        let embedded_buffer = rru >= 10.0 && not is_storage in
+        let hard_msb_cap = if is_storage && rru >= 10.0 then Some (1.0 /. 3.0) else None in
+        (* alpha_F is tunable per reservation (§3.5.3); a spread target finer
+           than ~2 servers per MSB is unreachable integrally, so small
+           reservations get a proportionally coarser limit *)
+        let msb_spread_limit = Float.max 0.1 (Float.min 0.5 (6.0 /. rru)) in
+        let req =
+          Capacity_request.make ~id:service.Service.id ~service ~rru ~dc_affinity
+            ~embedded_buffer ?hard_msb_cap ~msb_spread_limit ()
+        in
+        requests := req :: !requests
+      end
+    done;
+    !requests
+  end
+
+let arrivals_over rng ~days ~mean_per_workday =
+  let arrivals = ref [] in
+  for day = 0 to days - 1 do
+    let weekday = day mod 7 < 5 in
+    let mean = if weekday then mean_per_workday else mean_per_workday *. 0.15 in
+    let count = Dist.poisson rng ~mean in
+    for _ = 1 to count do
+      let hour =
+        if weekday then Float.max 7.0 (Float.min 21.0 (Dist.normal rng ~mean:13.5 ~stddev:2.5))
+        else Dist.uniform rng ~lo:0.0 ~hi:24.0
+      in
+      arrivals := ((float_of_int day *. 24.0) +. hour) :: !arrivals
+    done
+  done;
+  List.sort compare !arrivals

@@ -1,0 +1,38 @@
+(** Capacity-request stream generator.
+
+    Two generators:
+
+    - {!paper_distribution} samples requests with the joint shape of Fig. 4
+      (sizes spanning 1 to ~30,000 capacity units on a heavy-tailed
+      log-normal; flexibility concentrated at 1 and ~8 acceptable hardware
+      types with a small 10+ tail), independent of any concrete region —
+      used by the Fig. 4 bench;
+    - {!scenario} sizes a request set to a target utilization of a concrete
+      region so simulations are feasible, drawing services from a Zipf over
+      the catalog and arrival times from a diurnal profile (Fig. 16's
+      working-hours request spikes). *)
+
+type sized_request = { units : float; hw_types : int }
+
+val paper_distribution : Ras_stats.Rng.t -> n:int -> sized_request list
+(** [n] independent (size, flexibility) samples. *)
+
+val scenario :
+  Ras_stats.Rng.t ->
+  region:Ras_topology.Region.t ->
+  services:Service.t list ->
+  target_utilization:float ->
+  Capacity_request.t list
+(** Builds one request per service, sized proportionally to a Zipf weight
+    over the service list and scaled so the requests' total RRU demand is
+    [target_utilization] of what the region can supply for each service mix.
+    Requests arrive at time 0. *)
+
+val arrivals_over :
+  Ras_stats.Rng.t ->
+  days:int ->
+  mean_per_workday:float ->
+  float list
+(** Request arrival times (hours) over [days] with a diurnal working-hours
+    profile: most arrivals fall in hours 9-18 of weekdays, few on weekends.
+    Drives the churn spikes of Fig. 16. *)

@@ -1,0 +1,147 @@
+module Hw = Ras_topology.Hardware
+
+type profile =
+  | Web
+  | Feed1
+  | Feed2
+  | Data_store
+  | Ml_training
+  | Presto_batch
+  | Presto_interactive
+  | Cache
+  | Video_encoding
+  | Batch_async
+  | Generic
+
+type t = {
+  id : int;
+  name : string;
+  profile : profile;
+  categories : Hw.category list;
+  min_generation : int;
+  max_generation : int;
+  network_gb_per_rru : float;
+  data_locality : int option;
+}
+
+(* Fig. 3: per-generation gain normalized to generation 1.  Web gains the
+   most; DataStore is storage-bound and flat; Feed1 gains from generation 2
+   but not 3; Feed2 the other way around.  Remaining profiles approximate
+   the figure's "Fleet Avg" bar. *)
+let relative_value p gen =
+  let table =
+    match p with
+    | Web -> [| 1.0; 1.47; 1.82 |]
+    | Feed1 -> [| 1.0; 1.36; 1.38 |]
+    | Feed2 -> [| 1.0; 1.06; 1.45 |]
+    | Data_store -> [| 1.0; 1.0; 1.0 |]
+    | Ml_training -> [| 1.0; 1.9; 3.2 |]
+    | Presto_batch | Presto_interactive -> [| 1.0; 1.3; 1.55 |]
+    | Cache -> [| 1.0; 1.1; 1.2 |]
+    | Video_encoding -> [| 1.0; 1.5; 1.9 |]
+    | Batch_async | Generic -> [| 1.0; 1.25; 1.5 |]
+  in
+  let gen = if gen < 1 then 1 else if gen > 3 then 3 else gen in
+  table.(gen - 1)
+
+let default_categories = function
+  | Web | Feed1 | Feed2 -> [ Hw.Compute; Hw.Compute_dense ]
+  | Data_store -> [ Hw.Storage ]
+  | Ml_training -> [ Hw.Gpu ]
+  | Presto_batch | Presto_interactive -> [ Hw.Compute; Hw.Compute_dense; Hw.Flash ]
+  | Cache -> [ Hw.Memory; Hw.Flash ]
+  | Video_encoding -> [ Hw.Asic; Hw.Gpu ]
+  | Batch_async | Generic -> [ Hw.Compute; Hw.Compute_dense; Hw.Storage; Hw.Flash; Hw.Memory ]
+
+(* GB transferred per RRU-hour of work; only the heavy tail matters for the
+   cross-datacenter figure. *)
+let default_network = function
+  | Presto_batch -> 40.0
+  | Presto_interactive -> 15.0
+  | Ml_training -> 80.0
+  | Data_store -> 5.0
+  | _ -> 1.0
+
+let acceptable t hw =
+  List.mem hw.Hw.category t.categories
+  && hw.Hw.cpu_generation >= t.min_generation
+  && hw.Hw.cpu_generation <= t.max_generation
+
+let rru_of t hw =
+  if not (acceptable t hw) then 0.0
+  else
+    let rel = relative_value t.profile hw.Hw.cpu_generation in
+    match t.profile with
+    | Data_store -> hw.Hw.flash_tb /. 8.0
+    | Ml_training -> float_of_int hw.Hw.gpus *. rel /. 4.0
+    | Cache -> (float_of_int hw.Hw.mem_gb /. 128.0) *. rel
+    | Video_encoding -> (1.0 +. float_of_int hw.Hw.gpus) *. rel /. 2.0
+    | Web | Feed1 | Feed2 | Presto_batch | Presto_interactive | Batch_async | Generic ->
+      float_of_int hw.Hw.cores /. 16.0 *. rel
+
+let make ~id ~name ~profile ?(min_generation = 1) ?(max_generation = 3) ?data_locality () =
+  {
+    id;
+    name;
+    profile;
+    categories = default_categories profile;
+    min_generation;
+    max_generation;
+    network_gb_per_rru = default_network profile;
+    data_locality;
+  }
+
+let profile_name = function
+  | Web -> "web"
+  | Feed1 -> "feed1"
+  | Feed2 -> "feed2"
+  | Data_store -> "datastore"
+  | Ml_training -> "ml-training"
+  | Presto_batch -> "presto-batch"
+  | Presto_interactive -> "presto-interactive"
+  | Cache -> "cache"
+  | Video_encoding -> "video"
+  | Batch_async -> "batch-async"
+  | Generic -> "generic"
+
+let default_catalog =
+  (* Thirty services shaped like Fig. 13's top-30: ids 1 and 2 need new
+     hardware (min generation 2), ids 25-30 prefer discontinued hardware
+     (max generation below 3), id 13 is the datacenter-pinned ML service,
+     ids 6 and 15 are not yet qualified on the newest generation. *)
+  let svc id profile ?min_generation ?max_generation ?data_locality () =
+    make ~id ~name:(Printf.sprintf "%s-%d" (profile_name profile) id) ~profile ?min_generation
+      ?max_generation ?data_locality ()
+  in
+  [
+    svc 1 Web ~min_generation:2 ();
+    svc 2 Feed1 ~min_generation:2 ();
+    svc 3 Web ();
+    svc 4 Feed2 ();
+    svc 5 Data_store ();
+    svc 6 Web ~max_generation:2 ();
+    svc 7 Cache ();
+    svc 8 Generic ();
+    svc 9 Presto_batch ~data_locality:0 ();
+    svc 10 Presto_interactive ~data_locality:1 ();
+    svc 11 Feed1 ();
+    svc 12 Generic ();
+    svc 13 Ml_training ~min_generation:2 ~data_locality:2 ();
+    svc 14 Cache ();
+    svc 15 Feed2 ~max_generation:2 ();
+    svc 16 Generic ();
+    svc 17 Data_store ();
+    svc 18 Video_encoding ();
+    svc 19 Generic ();
+    svc 20 Batch_async ();
+    svc 21 Generic ();
+    svc 22 Web ();
+    svc 23 Generic ();
+    svc 24 Cache ();
+    svc 25 Generic ~max_generation:1 ();
+    svc 26 Data_store ~max_generation:2 ();
+    svc 27 Generic ~max_generation:1 ();
+    svc 28 Generic ~max_generation:2 ();
+    svc 29 Batch_async ~max_generation:2 ();
+    svc 30 Generic ~max_generation:1 ();
+  ]

@@ -1,0 +1,23 @@
+let cross_dc_fraction ~data_dc ~capacity_per_dc =
+  let total = Array.fold_left ( +. ) 0.0 capacity_per_dc in
+  if total <= 0.0 then nan
+  else begin
+    let local = if data_dc >= 0 && data_dc < Array.length capacity_per_dc then capacity_per_dc.(data_dc) else 0.0 in
+    (total -. local) /. total
+  end
+
+let cross_dc_working_fraction ~data_dc ~capacity_per_dc ~requested =
+  if requested <= 0.0 then nan
+  else begin
+    let local =
+      if data_dc >= 0 && data_dc < Array.length capacity_per_dc then capacity_per_dc.(data_dc)
+      else 0.0
+    in
+    1.0 -. (Float.min local requested /. requested)
+  end
+
+let cross_dc_gb ~service ~data_dc ~capacity_per_dc ~hours =
+  let total = Array.fold_left ( +. ) 0.0 capacity_per_dc in
+  let frac = cross_dc_fraction ~data_dc ~capacity_per_dc in
+  if Float.is_nan frac then 0.0
+  else total *. frac *. service.Service.network_gb_per_rru *. hours

@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest List Ras_broker Ras_failures Ras_topology

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array List Printf Ras_failures Ras_stats Ras_topology

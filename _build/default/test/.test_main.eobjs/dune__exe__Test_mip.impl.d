@@ -1,0 +1,1 @@
+test/test_mip.ml: Alcotest Array Branch_bound Float Lin_expr List Lp_format Lp_parse Model Mps_format Printf QCheck QCheck_alcotest Ras_mip Ras_stats Simplex String

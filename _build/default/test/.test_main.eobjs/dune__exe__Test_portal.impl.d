@@ -1,0 +1,1 @@
+test/test_portal.ml: Alcotest List Portal Ras Ras_broker Ras_topology Ras_workload Snapshot String

@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array Branch_bound Float Lin_expr List Model Presolve QCheck QCheck_alcotest Ras_mip Ras_stats Simplex

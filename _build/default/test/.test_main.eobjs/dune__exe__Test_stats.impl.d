@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dist Float Gen List QCheck QCheck_alcotest Ras_stats Rng Summary Timeseries

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Ras_topology

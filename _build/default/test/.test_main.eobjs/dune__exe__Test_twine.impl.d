@@ -1,0 +1,1 @@
+test/test_twine.ml: Alcotest Hashtbl List Ras_broker Ras_failures Ras_topology Ras_twine Ras_workload

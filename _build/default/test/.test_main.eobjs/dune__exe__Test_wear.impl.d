@@ -1,0 +1,1 @@
+test/test_wear.ml: Alcotest Array Async_solver Float List Online_mover Printf Ras Ras_broker Ras_stats Ras_topology Ras_workload Reservation Snapshot Symmetry

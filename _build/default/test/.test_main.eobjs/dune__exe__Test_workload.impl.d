@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Option Ras_stats Ras_topology Ras_workload

@@ -1,0 +1,19 @@
+(* Aggregated test entry point: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "ras-reproduction"
+    [
+      ("stats", Test_stats.suite);
+      ("mip", Test_mip.suite);
+      ("presolve", Test_presolve.suite);
+      ("topology", Test_topology.suite);
+      ("workload", Test_workload.suite);
+      ("failures", Test_failures.suite);
+      ("broker", Test_broker.suite);
+      ("twine", Test_twine.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("portal", Test_portal.suite);
+      ("wear", Test_wear.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,220 @@
+(* Tests for ras_mip presolve reductions and the dual values exposed by the
+   simplex at optimality. *)
+
+open Ras_mip
+
+let compile_of build =
+  let m = Model.create () in
+  let r = build m in
+  (Model.compile m, r)
+
+let test_singleton_row_becomes_bound () =
+  let std, x =
+    compile_of (fun m ->
+        let x = Model.add_var ~ub:10.0 m in
+        let _ = Model.add_constraint m (Lin_expr.scale 2.0 (Lin_expr.var x)) Model.Le 6.0 in
+        x)
+  in
+  match Presolve.run std with
+  | Presolve.Reduced { std = reduced; dropped_rows; _ } ->
+    Alcotest.(check int) "row dropped" 1 dropped_rows;
+    Alcotest.(check int) "no rows left" 0 reduced.Model.nrows;
+    Alcotest.(check (float 1e-9)) "ub tightened" 3.0 reduced.Model.ub.(x)
+  | Presolve.Proven_infeasible r -> Alcotest.fail r
+
+let test_fixed_variable_substitution () =
+  let std, (x, y) =
+    compile_of (fun m ->
+        let x = Model.add_var ~lb:2.0 ~ub:2.0 m in
+        let y = Model.add_var ~ub:10.0 m in
+        (* x + y <= 5 becomes y <= 3 (then a bound, then dropped) *)
+        let _ = Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Le 5.0 in
+        Model.set_objective m (Lin_expr.of_terms [ (1.0, x); (-1.0, y) ]);
+        (x, y))
+  in
+  match Presolve.run std with
+  | Presolve.Reduced { std = reduced; fixed; _ } ->
+    Alcotest.(check bool) "x reported fixed" true (List.mem_assoc x fixed);
+    Alcotest.(check (float 1e-9)) "x value" 2.0 (List.assoc x fixed);
+    Alcotest.(check (float 1e-9)) "offset carries x's cost" 2.0 reduced.Model.obj_offset;
+    Alcotest.(check (float 1e-9)) "y bound tightened" 3.0 reduced.Model.ub.(y);
+    Alcotest.(check int) "all rows gone" 0 reduced.Model.nrows
+  | Presolve.Proven_infeasible r -> Alcotest.fail r
+
+let test_integer_bound_rounding () =
+  let std, x =
+    compile_of (fun m ->
+        let x = Model.add_var ~lb:0.3 ~ub:4.7 ~kind:Model.Integer m in
+        x)
+  in
+  match Presolve.run std with
+  | Presolve.Reduced { std = reduced; _ } ->
+    Alcotest.(check (float 1e-9)) "lb ceil" 1.0 reduced.Model.lb.(x);
+    Alcotest.(check (float 1e-9)) "ub floor" 4.0 reduced.Model.ub.(x)
+  | Presolve.Proven_infeasible r -> Alcotest.fail r
+
+let test_infeasible_window_detected () =
+  let std, _ =
+    compile_of (fun m ->
+        let x = Model.add_var ~lb:0.4 ~ub:0.6 ~kind:Model.Integer m in
+        x)
+  in
+  match Presolve.run std with
+  | Presolve.Proven_infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "0.4 <= int <= 0.6 must be infeasible"
+
+let test_infeasible_row_detected () =
+  let std, _ =
+    compile_of (fun m ->
+        let x = Model.add_var ~ub:1.0 m in
+        let y = Model.add_var ~ub:1.0 m in
+        let _ = Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Ge 5.0 in
+        (x, y))
+  in
+  match Presolve.run std with
+  | Presolve.Proven_infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "activity bound should prove infeasibility"
+
+let test_redundant_row_dropped () =
+  let std, _ =
+    compile_of (fun m ->
+        let x = Model.add_var ~ub:1.0 m in
+        let y = Model.add_var ~ub:1.0 m in
+        (* x + y <= 5 can never bind *)
+        let _ = Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Le 5.0 in
+        (x, y))
+  in
+  match Presolve.run std with
+  | Presolve.Reduced { std = reduced; dropped_rows; _ } ->
+    Alcotest.(check int) "dropped" 1 dropped_rows;
+    Alcotest.(check int) "empty model" 0 reduced.Model.nrows
+  | Presolve.Proven_infeasible r -> Alcotest.fail r
+
+let test_presolve_preserves_optimum () =
+  (* knapsack solved with and without presolve must agree *)
+  let build m =
+    let a = Model.add_var ~kind:Model.Integer ~ub:1.0 m in
+    let b = Model.add_var ~kind:Model.Integer ~ub:1.0 m in
+    let c = Model.add_var ~lb:1.0 ~ub:1.0 m in
+    (* c fixed *)
+    let _ =
+      Model.add_constraint m (Lin_expr.of_terms [ (2.0, a); (3.0, b); (1.0, c) ]) Model.Le 4.0
+    in
+    Model.set_objective m (Lin_expr.of_terms [ (-5.0, a); (-4.0, b); (-3.0, c) ]);
+    (a, b, c)
+  in
+  let std, _ = compile_of build in
+  let out = Branch_bound.solve std in
+  Alcotest.(check (float 1e-6)) "optimal with fixed var" (-8.0) out.Branch_bound.objective;
+  match out.Branch_bound.solution with
+  | Some sol -> (
+    match Model.check_solution std sol with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("restored solution invalid: " ^ e))
+  | None -> Alcotest.fail "no solution"
+
+let test_restore () =
+  let restored = Presolve.restore ~fixed:[ (1, 7.0) ] [| 1.0; 0.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "fixed written back" [| 1.0; 7.0; 3.0 |] restored
+
+let test_duals_of_binding_constraint () =
+  (* min -x st x <= 4 (x unbounded above otherwise): dual of the row is the
+     objective improvement per unit of rhs: -1 *)
+  let std, _ =
+    compile_of (fun m ->
+        let x = Model.add_var m in
+        let _ = Model.add_constraint m (Lin_expr.var x) Model.Le 4.0 in
+        Model.set_objective m (Lin_expr.term (-1.0) x);
+        x)
+  in
+  match Simplex.solve std with
+  | Simplex.Optimal { obj; duals; _ } ->
+    Alcotest.(check (float 1e-6)) "objective" (-4.0) obj;
+    Alcotest.(check int) "one dual" 1 (Array.length duals);
+    Alcotest.(check (float 1e-6)) "shadow price" (-1.0) duals.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duals_zero_when_slack () =
+  (* the constraint never binds: its shadow price is 0 *)
+  let std, _ =
+    compile_of (fun m ->
+        let x = Model.add_var ~ub:1.0 m in
+        let _ = Model.add_constraint m (Lin_expr.var x) Model.Le 100.0 in
+        Model.set_objective m (Lin_expr.term (-1.0) x);
+        x)
+  in
+  match Simplex.solve std with
+  | Simplex.Optimal { duals; _ } ->
+    Alcotest.(check (float 1e-6)) "non-binding row" 0.0 duals.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let prop_presolve_equivalent =
+  (* random IPs: solving with internal presolve (default path) matches a
+     brute-force enumeration — inherited from the main B&B property but with
+     bound structures presolve likes (fixed vars, singleton rows) *)
+  QCheck.Test.make ~name:"presolve preserves optima" ~count:200 QCheck.int (fun seed ->
+      let module R = Ras_stats.Rng in
+      let rng = R.create seed in
+      let n = 2 + R.int rng 3 in
+      let m = Model.create () in
+      let ubs = Array.init n (fun _ -> float_of_int (R.int rng 4)) in
+      let vars =
+        Array.init n (fun i ->
+            (* some variables arrive pre-fixed *)
+            let lb = if R.int rng 4 = 0 then ubs.(i) else 0.0 in
+            Model.add_var ~lb ~ub:ubs.(i) ~kind:Model.Integer m)
+      in
+      (* a singleton row and a general row *)
+      let j = R.int rng n in
+      let _ =
+        Model.add_constraint m (Lin_expr.var vars.(j)) Model.Le (float_of_int (R.int rng 5))
+      in
+      let cs = Array.init n (fun _ -> float_of_int (R.int rng 7 - 3)) in
+      let _ =
+        Model.add_constraint m
+          (Lin_expr.of_terms (List.init n (fun i -> (cs.(i), vars.(i)))))
+          Model.Le
+          (float_of_int (R.int rng 10))
+      in
+      let obj = Array.init n (fun _ -> float_of_int (R.int rng 7 - 3)) in
+      Model.set_objective m (Lin_expr.of_terms (List.init n (fun i -> (obj.(i), vars.(i)))));
+      let std = Model.compile m in
+      (* brute force *)
+      let best = ref infinity in
+      let x = Array.make n 0.0 in
+      let rec enum i =
+        if i = n then begin
+          match Model.check_solution std x with
+          | Ok () ->
+            let v = ref 0.0 in
+            Array.iteri (fun k xv -> v := !v +. (obj.(k) *. xv)) x;
+            if !v < !best then best := !v
+          | Error _ -> ()
+        end
+        else
+          for v = int_of_float std.Model.lb.(i) to int_of_float std.Model.ub.(i) do
+            x.(i) <- float_of_int v;
+            enum (i + 1)
+          done
+      in
+      enum 0;
+      let out = Branch_bound.solve std in
+      match (out.Branch_bound.status, Float.is_finite !best) with
+      | Branch_bound.Optimal, true -> Float.abs (out.Branch_bound.objective -. !best) <= 1e-6
+      | Branch_bound.Infeasible, false -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "singleton row to bound" `Quick test_singleton_row_becomes_bound;
+    Alcotest.test_case "fixed variable substitution" `Quick test_fixed_variable_substitution;
+    Alcotest.test_case "integer bound rounding" `Quick test_integer_bound_rounding;
+    Alcotest.test_case "infeasible integer window" `Quick test_infeasible_window_detected;
+    Alcotest.test_case "infeasible row" `Quick test_infeasible_row_detected;
+    Alcotest.test_case "redundant row dropped" `Quick test_redundant_row_dropped;
+    Alcotest.test_case "presolve preserves optimum" `Quick test_presolve_preserves_optimum;
+    Alcotest.test_case "restore" `Quick test_restore;
+    Alcotest.test_case "duals of binding constraint" `Quick test_duals_of_binding_constraint;
+    Alcotest.test_case "duals zero when slack" `Quick test_duals_zero_when_slack;
+    QCheck_alcotest.to_alcotest prop_presolve_equivalent;
+  ]

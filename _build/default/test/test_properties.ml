@@ -1,0 +1,216 @@
+(* Cross-cutting property tests: concretization realizes solver counts with
+   minimal movement, the simplex survives badly-scaled data, and the whole
+   simulated system is deterministic in its seeds. *)
+
+open Ras
+module Broker = Ras_broker.Broker
+module Generator = Ras_topology.Generator
+module Region = Ras_topology.Region
+module Service = Ras_workload.Service
+module Model = Ras_mip.Model
+module Lin_expr = Ras_mip.Lin_expr
+module Simplex = Ras_mip.Simplex
+
+(* ---------- concretize: counts realized, movement minimal ---------- *)
+
+let fixture () =
+  let region = Generator.generate Generator.small_params in
+  let broker = Broker.create region in
+  let rng = Ras_stats.Rng.create 11 in
+  let requests =
+    Ras_workload.Request_gen.scenario rng ~region ~services:Service.default_catalog
+      ~target_utilization:0.4
+  in
+  let reservations =
+    List.map Reservation.of_request requests
+    @ Buffers.shared_buffer_reservations region ~fraction:0.02 ~first_id:8000
+  in
+  (* put the broker in a non-trivial starting state *)
+  ignore (Ras_twine.Greedy.fulfill broker requests);
+  let snapshot = Snapshot.take broker reservations in
+  let symmetry = Symmetry.build snapshot in
+  Formulation.build symmetry reservations
+
+let owner_of (res : Reservation.t) =
+  match res.Reservation.kind with
+  | Reservation.Guaranteed -> Broker.Reservation res.Reservation.id
+  | Reservation.Random_failure_buffer _ -> Broker.Shared_buffer
+
+let prop_concretize_realizes_random_counts =
+  QCheck.Test.make ~name:"concretize realizes random counts with minimal movement" ~count:25
+    QCheck.int
+    (fun seed ->
+      let f = fixture () in
+      let rng = Ras_stats.Rng.create seed in
+      (* random feasible counts: walk classes, hand out supply to random
+         acceptable reservations *)
+      let counts = Hashtbl.create 64 in
+      Array.iter
+        (fun (cls : Symmetry.cls) ->
+          let pairs =
+            List.filter (fun (p : Formulation.pair) -> p.Formulation.cls == cls) f.Formulation.pairs
+          in
+          if pairs <> [] then begin
+            let budget = ref (Symmetry.size cls) in
+            List.iter
+              (fun (p : Formulation.pair) ->
+                if !budget > 0 then begin
+                  let take = Ras_stats.Rng.int rng (!budget + 1) in
+                  if take > 0 then begin
+                    Hashtbl.replace counts
+                      (cls.Symmetry.index, p.Formulation.res.Reservation.id)
+                      take;
+                    budget := !budget - take
+                  end
+                end)
+              pairs
+          end)
+        f.Formulation.symmetry.Symmetry.classes;
+      let count_of (p : Formulation.pair) =
+        try Hashtbl.find counts (p.Formulation.cls.Symmetry.index, p.Formulation.res.Reservation.id)
+        with Not_found -> 0
+      in
+      let solution = Formulation.encode f count_of in
+      let assignment = Formulation.decode f solution in
+      let plan = Concretize.plan f assignment in
+      let target_of = Hashtbl.create 256 in
+      List.iter (fun (id, o) -> Hashtbl.replace target_of id o) plan.Concretize.targets;
+      let snapshot = f.Formulation.symmetry.Symmetry.snapshot in
+      (* 1. realized counts match (buffer reservations pool per category, so
+         check guaranteed ones exactly) *)
+      let realized_ok =
+        List.for_all
+          (fun (p : Formulation.pair) ->
+            Reservation.is_buffer p.Formulation.res
+            ||
+            let owner = owner_of p.Formulation.res in
+            let got =
+              Array.fold_left
+                (fun acc id ->
+                  if Hashtbl.find_opt target_of id = Some owner then acc + 1 else acc)
+                0 p.Formulation.cls.Symmetry.members
+            in
+            got = count_of p)
+          f.Formulation.pairs
+      in
+      (* 2. movement minimality: per guaranteed pair, exactly
+         max(0, N0 - n) members leave the owner *)
+      let movement_ok =
+        List.for_all
+          (fun (p : Formulation.pair) ->
+            Reservation.is_buffer p.Formulation.res
+            ||
+            let owner = owner_of p.Formulation.res in
+            let n0 = Symmetry.current_count f.Formulation.symmetry p.Formulation.cls owner in
+            let stayed =
+              Array.fold_left
+                (fun acc id ->
+                  if
+                    snapshot.Snapshot.servers.(id).Snapshot.current = owner
+                    && Hashtbl.find_opt target_of id = Some owner
+                  then acc + 1
+                  else acc)
+                0 p.Formulation.cls.Symmetry.members
+            in
+            stayed = min n0 (count_of p))
+          f.Formulation.pairs
+      in
+      realized_ok && movement_ok)
+
+(* ---------- simplex under bad scaling ---------- *)
+
+let prop_simplex_survives_bad_scaling =
+  QCheck.Test.make ~name:"simplex handles wide coefficient ranges" ~count:100 QCheck.int
+    (fun seed ->
+      let module R = Ras_stats.Rng in
+      let rng = R.create seed in
+      let n = 2 + R.int rng 3 in
+      let m = Model.create () in
+      let scale_of () = [| 1e-2; 1.0; 1e2; 1e4 |].(R.int rng 4) in
+      let vars = Array.init n (fun _ -> Model.add_var ~ub:(10.0 *. scale_of ()) m) in
+      let point = Array.init n (fun i -> Ras_stats.Rng.float rng (Model.var_bounds m vars.(i) |> snd)) in
+      for _ = 1 to 1 + R.int rng 3 do
+        let cs = Array.init n (fun _ -> scale_of () *. float_of_int (R.int rng 9 - 4)) in
+        let lhs = ref 0.0 in
+        Array.iteri (fun i c -> lhs := !lhs +. (c *. point.(i))) cs;
+        let e = Lin_expr.of_terms (List.init n (fun i -> (cs.(i), vars.(i)))) in
+        ignore (Model.add_constraint m e Model.Le (!lhs +. Float.abs !lhs *. 0.01 +. 1.0))
+      done;
+      Model.set_objective m
+        (Lin_expr.of_terms (List.init n (fun i -> (float_of_int (R.int rng 9 - 4), vars.(i)))));
+      let std = Model.compile m in
+      match Simplex.solve std with
+      | Simplex.Optimal { x; _ } ->
+        (* relative feasibility: residuals scale with row magnitude *)
+        let ok = ref true in
+        for i = 0 to std.Model.nrows - 1 do
+          let lhs = ref 0.0 and mag = ref 1.0 in
+          Array.iteri
+            (fun k j ->
+              let term = std.Model.row_coefs.(i).(k) *. x.(j) in
+              lhs := !lhs +. term;
+              mag := !mag +. Float.abs term)
+            std.Model.row_cols.(i);
+          let slack = std.Model.rhs.(i) -. !lhs in
+          (match std.Model.row_sense.(i) with
+          | Model.Le -> if slack < -1e-6 *. !mag then ok := false
+          | Model.Ge -> if slack > 1e-6 *. !mag then ok := false
+          | Model.Eq -> if Float.abs slack > 1e-6 *. !mag then ok := false)
+        done;
+        !ok
+      | Simplex.Unbounded -> true
+      | Simplex.Infeasible _ | Simplex.Iteration_limit _ -> false)
+
+(* ---------- whole-system determinism ---------- *)
+
+let run_system () =
+  let region = Generator.generate Generator.small_params in
+  let broker = Broker.create region in
+  let rng = Ras_stats.Rng.create 11 in
+  let requests =
+    Ras_workload.Request_gen.scenario rng ~region ~services:Service.default_catalog
+      ~target_utilization:0.4
+  in
+  let config =
+    {
+      System.default_config with
+      System.solver = { Async_solver.default_params with Async_solver.node_limit = 0 };
+    }
+  in
+  let sys = System.create ~config broker in
+  List.iter (System.add_request sys) requests;
+  let failures =
+    Ras_failures.Failure_model.generate (Ras_stats.Rng.create 5) region
+      Ras_failures.Failure_model.default_params ~horizon_days:0.5
+  in
+  System.install_failures sys failures;
+  System.start sys;
+  System.run sys ~until_h:12.0;
+  let m = System.metrics sys in
+  List.map
+    (fun name ->
+      match Ras_sim.Metrics.find m name with
+      | Some s -> (name, Ras_stats.Timeseries.points s)
+      | None -> (name, [||]))
+    [ "max_msb_share"; "moves_unused"; "unavailable_frac"; "free_servers" ]
+
+let test_system_deterministic () =
+  let a = run_system () and b = run_system () in
+  List.iter2
+    (fun (name_a, pts_a) (name_b, pts_b) ->
+      Alcotest.(check string) "same series" name_a name_b;
+      Alcotest.(check int) (name_a ^ " same length") (Array.length pts_a) (Array.length pts_b);
+      Array.iteri
+        (fun i (t, v) ->
+          let t', v' = pts_b.(i) in
+          Alcotest.(check (float 1e-12)) (name_a ^ " time") t t';
+          Alcotest.(check (float 1e-12)) (name_a ^ " value") v v')
+        pts_a)
+    a b
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_concretize_realizes_random_counts;
+    QCheck_alcotest.to_alcotest prop_simplex_survives_bad_scaling;
+    Alcotest.test_case "system runs are deterministic" `Slow test_system_deterministic;
+  ]
