@@ -36,4 +36,8 @@ let run () =
     (fun i c ->
       let lo = hist.Summary.lo +. (float_of_int i *. (hist.Summary.hi -. hist.Summary.lo) /. 8.0) in
       Report.row "  %6.2fs  %s\n" lo (String.make c '#'))
-    hist.Summary.counts
+    hist.Summary.counts;
+  let nodes, pivots, warm = Solver_runs.solver_totals (runs ()) in
+  Report.row "solver kernels: %d B&B nodes (%d warm-started), %d LP pivots across %d solves\n"
+    nodes warm pivots
+    (List.length (runs ()))

@@ -10,6 +10,17 @@ module Capacity_request = Ras_workload.Capacity_request
 
 type run = { stats : Ras.Async_solver.stats; solve_index : int }
 
+(* Aggregate B&B kernel counters over a run sequence: total nodes, LP
+   pivots and warm-started nodes (see Async_solver solver_* stats). *)
+let solver_totals runs =
+  List.fold_left
+    (fun (n, it, w) r ->
+      let s = r.stats in
+      ( n + s.Ras.Async_solver.solver_nodes,
+        it + s.Ras.Async_solver.solver_lp_iterations,
+        w + s.Ras.Async_solver.solver_warm_starts ))
+    (0, 0, 0) runs
+
 let with_rack_limits requests =
   List.map
     (fun (r : Capacity_request.t) ->

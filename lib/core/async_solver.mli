@@ -35,6 +35,11 @@ type stats = {
   proven_constraints_fixed : bool;
       (** the bound proves no additional softened constraint could have been
           fixed by running longer (Fig. 9: true for ~99% of solves) *)
+  solver_nodes : int;  (** branch-and-bound nodes across both phases *)
+  solver_lp_iterations : int;  (** simplex pivots across both phases *)
+  solver_warm_starts : int;
+      (** nodes whose LP restarted from a parent basis (see
+          {!Ras_mip.Branch_bound}); the warm-start hit rate of this solve *)
 }
 
 val solve :

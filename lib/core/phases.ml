@@ -72,6 +72,7 @@ let run ?params ?(mip_time_limit = 60.0) ?(mip_node_limit = 2000) ?(rack_level =
         gap = objective -. best_bound;
         nodes = 0;
         lp_iterations = 0;
+        warm_started_nodes = 0;
         elapsed = 0.0;
       }
     end

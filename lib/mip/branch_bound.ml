@@ -8,6 +8,8 @@ type options = {
   int_tol : float;
   heuristic_period : int;
   initial : float array option;
+  warm_start : bool;
+  lp_partial_pricing : bool;
 }
 
 let default_options =
@@ -19,6 +21,8 @@ let default_options =
     int_tol = 1e-6;
     heuristic_period = 20;
     initial = None;
+    warm_start = true;
+    lp_partial_pricing = true;
   }
 
 type outcome = {
@@ -29,6 +33,7 @@ type outcome = {
   gap : float;
   nodes : int;
   lp_iterations : int;
+  warm_started_nodes : int;
   elapsed : float;
 }
 
@@ -36,9 +41,9 @@ type outcome = {
 (* Minimal binary min-heap keyed by node bound.                      *)
 
 module Heap = struct
-  type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+  type 'a t = { mutable data : (float * 'a) array; mutable len : int; dummy : float * 'a }
 
-  let create () = { data = [||]; len = 0 }
+  let create dummy = { data = [||]; len = 0; dummy }
 
   let is_empty h = h.len = 0
 
@@ -50,7 +55,7 @@ module Heap = struct
   let push h key v =
     if h.len = Array.length h.data then begin
       let cap = max 16 (2 * h.len) in
-      let bigger = Array.make cap (key, v) in
+      let bigger = Array.make cap h.dummy in
       Array.blit h.data 0 bigger 0 h.len;
       h.data <- bigger
     end;
@@ -83,6 +88,9 @@ module Heap = struct
           else continue := false
         done
       end;
+      (* clear the vacated slot: a popped node's bound arrays (and basis
+         snapshot) must become collectable once its subtree is drained *)
+      h.data.(h.len) <- h.dummy;
       Some top
     end
 
@@ -91,7 +99,12 @@ end
 
 (* ---------------------------------------------------------------- *)
 
-type node = { nlb : float array; nub : float array; depth : int }
+type node = {
+  nlb : float array;
+  nub : float array;
+  depth : int;
+  wb : Simplex.warm_basis option;  (* parent's optimal basis, inverse stripped *)
+}
 
 let fractionality v = Float.abs (v -. Float.round v)
 
@@ -149,10 +162,17 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
   let incumbent = ref None and incumbent_obj = ref infinity in
-  let nodes = ref 0 and lp_iters = ref 0 in
+  let nodes = ref 0 and lp_iters = ref 0 and warm_nodes = ref 0 in
   let inexact = ref false in
   (* an LP node hit its iteration limit: optimality can no longer be proven *)
-  let open_nodes = Heap.create () in
+  let dummy_node = { nlb = [||]; nub = [||]; depth = 0; wb = None } in
+  let open_nodes = Heap.create (0.0, dummy_node) in
+  (* One-entry basis-inverse cache keyed by physical equality on the
+     stripped snapshot stored in the nodes: the plunged child is processed
+     immediately after its parent, so it reuses the parent's inverse for
+     free; nodes popped from the heap later re-factorize from their stored
+     basis columns instead (still far cheaper than a cold phase-1 start). *)
+  let binv_cache : (Simplex.warm_basis * float array array) option ref = ref None in
   let root_lb = Array.copy std.lb and root_ub = Array.copy std.ub in
   tighten_integer_bounds std root_lb root_ub;
   let update_incumbent x obj =
@@ -176,11 +196,25 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let process node parent_bound =
     if parent_bound < !incumbent_obj && not (gap_closed parent_bound) then begin
       incr nodes;
-      match Simplex.solve ~lb:node.nlb ~ub:node.nub std with
+      let basis =
+        if not options.warm_start then None
+        else
+          match node.wb with
+          | None -> None
+          | Some wb -> (
+            match !binv_cache with
+            | Some (key, binv) when key == wb -> Some { wb with Simplex.wbinv = Some binv }
+            | _ -> Some wb)
+      in
+      (match basis with Some _ -> incr warm_nodes | None -> ());
+      match
+        Simplex.solve ~partial_pricing:options.lp_partial_pricing ?basis ~lb:node.nlb
+          ~ub:node.nub std
+      with
       | Simplex.Infeasible _ -> ()
       | Simplex.Unbounded -> unbounded := true
       | Simplex.Iteration_limit _ -> inexact := true
-      | Simplex.Optimal { x; obj; iterations; _ } ->
+      | Simplex.Optimal { x; obj; iterations; basis = final_basis; _ } ->
         lp_iters := !lp_iters + iterations;
         if obj < !incumbent_obj -. options.gap_abs then begin
           if integral std ~int_tol:options.int_tol x then begin
@@ -200,6 +234,13 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
             match pick_branch_var std ~int_tol:options.int_tol x with
             | None -> ()
             | Some j ->
+              (* both children share one stripped snapshot of this node's
+                 optimal basis; the full inverse lives only in the cache *)
+              let stripped = { final_basis with Simplex.wbinv = None } in
+              (match final_basis.Simplex.wbinv with
+              | Some binv -> binv_cache := Some (stripped, binv)
+              | None -> ());
+              let wb = if options.warm_start then Some stripped else None in
               let v = x.(j) in
               let down_ub = Array.copy node.nub in
               down_ub.(j) <- Float.floor v;
@@ -207,8 +248,8 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
               up_lb.(j) <- Float.ceil v;
               let down_ok = Float.floor v >= node.nlb.(j) -. 1e-9 in
               let up_ok = Float.ceil v <= node.nub.(j) +. 1e-9 in
-              let down = { nlb = node.nlb; nub = down_ub; depth = node.depth + 1 } in
-              let up = { nlb = up_lb; nub = node.nub; depth = node.depth + 1 } in
+              let down = { nlb = node.nlb; nub = down_ub; depth = node.depth + 1; wb } in
+              let up = { nlb = up_lb; nub = node.nub; depth = node.depth + 1; wb } in
               let frac = v -. Float.floor v in
               let near, near_ok, far, far_ok =
                 if frac < 0.5 then (down, down_ok, up, up_ok)
@@ -231,7 +272,8 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
       update_incumbent (Array.copy x0) !obj
     | Error _ -> ())
   | None -> ());
-  if options.node_limit > 0 then process { nlb = root_lb; nub = root_ub; depth = 0 } neg_infinity;
+  if options.node_limit > 0 then
+    process { nlb = root_lb; nub = root_ub; depth = 0; wb = None } neg_infinity;
   let max_plunge_depth = 100 in
   let stop = ref !unbounded in
   while not !stop do
@@ -281,6 +323,7 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
     gap = (if !incumbent = None then infinity else !incumbent_obj -. best_bound);
     nodes = !nodes;
     lp_iterations = !lp_iters;
+    warm_started_nodes = !warm_nodes;
     elapsed = elapsed ();
   }
 
@@ -298,6 +341,7 @@ let solve ?(options = default_options) (std : Model.std) =
       gap = infinity;
       nodes = 0;
       lp_iterations = 0;
+      warm_started_nodes = 0;
       elapsed = 0.0;
     }
   | Presolve.Reduced { std = reduced; fixed; _ } ->

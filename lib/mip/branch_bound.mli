@@ -5,7 +5,14 @@
     nearest-integer rounding heuristic probes for incumbents.  The solver
     honours wall-clock and node limits and reports the remaining optimality
     gap — RAS deliberately runs its solver with a timeout and reasons about
-    the gap (paper §4.1.2, Fig. 9), so the gap is a first-class output. *)
+    the gap (paper §4.1.2, Fig. 9), so the gap is a first-class output.
+
+    Every non-root node's LP is warm-started from its parent's optimal
+    basis (see {!Simplex.warm_basis}): a child that tightens one variable
+    bound typically re-optimizes in a handful of pivots instead of a full
+    cold two-phase solve.  Nodes store basis snapshots without the inverse;
+    a one-entry cache keeps the most recent parent's inverse so plunged
+    children restart for free, while heap revisits re-factorize. *)
 
 type status =
   | Optimal  (** proven optimal within tolerances *)
@@ -24,12 +31,17 @@ type options = {
   initial : float array option;
       (** a known feasible solution to seed the incumbent (checked with
           {!Model.check_solution} and ignored when invalid) *)
+  warm_start : bool;
+      (** restart child LPs from the parent's optimal basis; disable to get
+          the cold-start behaviour (equivalence testing, benchmarking) *)
+  lp_partial_pricing : bool;
+      (** forwarded to {!Simplex.solve}'s [partial_pricing] *)
 }
 
 val default_options : options
 (** [time_limit = infinity], [node_limit = 100_000], [gap_abs = 1e-6],
     [gap_rel = 1e-9], [int_tol = 1e-6], [heuristic_period = 20], no initial
-    solution. *)
+    solution, [warm_start = true], [lp_partial_pricing = true]. *)
 
 type outcome = {
   status : status;
@@ -39,6 +51,8 @@ type outcome = {
   gap : float;  (** [objective - best_bound]; [infinity] when no incumbent *)
   nodes : int;
   lp_iterations : int;
+  warm_started_nodes : int;
+      (** nodes whose LP restarted from a parent basis rather than cold *)
   elapsed : float;  (** seconds *)
 }
 

@@ -1,13 +1,30 @@
-type result =
-  | Optimal of { x : float array; obj : float; iterations : int; duals : float array }
-  | Infeasible of { infeasibility : int }
-  | Unbounded
-  | Iteration_limit of { feasible : bool; obj : float }
-
 (* Column status.  A column is either basic (its value is determined by the
    basis equations) or nonbasic pinned at one of its bounds; free nonbasic
    columns sit at zero. *)
-type status = Basic | At_lower | At_upper | Nb_free
+type col_status = Basic | At_lower | At_upper | Nb_free
+
+(* A restartable basis snapshot: which column is basic in each row plus the
+   bound every nonbasic column rests on.  [wbinv] optionally carries the
+   matching basis inverse so a restart can skip the O(m^3) refactorization;
+   holders that keep many snapshots alive (the branch-and-bound node queue)
+   drop it to stay O(ntotal) per snapshot. *)
+type warm_basis = {
+  wcols : int array;  (* wcols.(i) = column basic in row i *)
+  wstatus : col_status array;  (* one entry per column incl. slacks *)
+  wbinv : float array array option;  (* basis inverse matching wcols *)
+}
+
+type result =
+  | Optimal of {
+      x : float array;
+      obj : float;
+      iterations : int;
+      duals : float array;
+      basis : warm_basis;
+    }
+  | Infeasible of { infeasibility : int }
+  | Unbounded
+  | Iteration_limit of { feasible : bool; obj : float }
 
 type state = {
   std : Model.std;
@@ -16,7 +33,7 @@ type state = {
   lb : float array;
   ub : float array;
   obj : float array;
-  status : status array;
+  status : col_status array;
   xval : float array;
   basis : int array;  (* basis.(i) = column basic in row i *)
   mutable binv : float array array;  (* dense basis inverse, m x m *)
@@ -26,6 +43,17 @@ type state = {
   mutable bland : bool;  (* anti-cycling mode *)
   mutable degenerate_run : int;
   mutable iterations : int;
+  (* cached simplex multipliers y = c_B^T B^-1: recomputed from scratch in
+     phase 1 (the phase-1 cost vector moves with the iterate) and after
+     refactorization, updated incrementally after phase-2 pivots *)
+  mutable dual : float array;
+  mutable dual_valid : bool;
+  mutable dual_phase1 : bool;
+  (* candidate-list pricing state *)
+  partial : bool;
+  price_window : int;
+  mutable price_cursor : int;
+  nzbuf : int array;  (* scratch: nonzero pattern of the pivot row *)
 }
 
 (* -------------------------------------------------------------------- *)
@@ -41,16 +69,29 @@ let col_iter st j f =
   end
   else f (j - st.std.nvars) 1.0
 
-(* alpha = B^-1 * A_j *)
+(* alpha = B^-1 * A_j.  Row-major order: each alpha entry is a dot product
+   of one [binv] row with the sparse column, so the inner loop stays inside
+   a single row. *)
 let ftran st j =
   let alpha = Array.make st.m 0.0 in
-  let accum r c =
-    let brow_of i = st.binv.(i).(r) in
+  if j < st.std.nvars then begin
+    let rows = st.std.col_rows.(j) and coefs = st.std.col_coefs.(j) in
+    let ne = Array.length rows in
     for i = 0 to st.m - 1 do
-      alpha.(i) <- alpha.(i) +. (brow_of i *. c)
+      let bi = st.binv.(i) in
+      let acc = ref 0.0 in
+      for k = 0 to ne - 1 do
+        acc := !acc +. (bi.(rows.(k)) *. coefs.(k))
+      done;
+      alpha.(i) <- !acc
     done
-  in
-  col_iter st j accum;
+  end
+  else begin
+    let r = j - st.std.nvars in
+    for i = 0 to st.m - 1 do
+      alpha.(i) <- st.binv.(i).(r)
+    done
+  end;
   alpha
 
 (* -------------------------------------------------------------------- *)
@@ -95,7 +136,8 @@ let refactor st =
       end
     done
   done;
-  st.binv <- inv
+  st.binv <- inv;
+  st.dual_valid <- false
 
 let recompute_basics st =
   (* x_B = B^-1 (rhs - sum over nonbasic columns of A_j x_j) *)
@@ -157,6 +199,30 @@ let dual_values st ~phase1 =
   done;
   y
 
+(* The BTRAN that used to run every iteration is hoisted into a cached dual
+   vector: phase-2 pivots update it in O(m) (see [update_duals_after_pivot]);
+   only phase 1 — whose cost vector depends on the iterate — and freshly
+   refactorized bases pay the full O(m^2) recomputation. *)
+let ensure_duals st ~phase1 =
+  if (not st.dual_valid) || st.dual_phase1 <> phase1 then begin
+    st.dual <- dual_values st ~phase1;
+    st.dual_valid <- true;
+    st.dual_phase1 <- phase1
+  end
+
+(* After the pivot in row [row] with entering reduced cost [d]:
+   y' = y + (d / alpha_row) * (old B^-1 row) = y + d * (new B^-1 row),
+   because the pivot has already scaled that row by 1/alpha_row.  Valid only
+   in phase 2, where the basic cost vector changes by the pivot alone. *)
+let update_duals_after_pivot st ~row ~d =
+  if d <> 0.0 then begin
+    let brow = st.binv.(row) in
+    let y = st.dual in
+    for k = 0 to st.m - 1 do
+      y.(k) <- y.(k) +. (d *. brow.(k))
+    done
+  end
+
 let reduced_cost st y ~phase1 j =
   let c = if phase1 then 0.0 else st.obj.(j) in
   let acc = ref c in
@@ -177,21 +243,29 @@ let entering_direction st ~d j =
       else if d > st.dual_tol then Some (-1.0)
       else None
 
-let choose_entering st y ~phase1 =
+(* Entering-column choice.  Three regimes:
+   - Bland's rule (anti-cycling): lowest-index improving column, full scan;
+   - full Dantzig: best |reduced cost| over every column (the seed scheme,
+     kept selectable for benchmarking);
+   - candidate-list partial pricing (default): scan a rotating window from
+     [price_cursor]; once an improving candidate is seen, stop at the window
+     boundary and take the best so far.  Only a completely dry full rotation
+     declares dual feasibility, so optimality claims are unchanged. *)
+let choose_entering st ~phase1 =
+  let y = st.dual in
   if st.bland then begin
-    (* Bland's rule: lowest-index improving column. *)
     let rec scan j =
       if j >= st.ntotal then None
       else if st.status.(j) = Basic then scan (j + 1)
       else
         let d = reduced_cost st y ~phase1 j in
         match entering_direction st ~d j with
-        | Some dir -> Some (j, dir)
+        | Some dir -> Some (j, dir, d)
         | None -> scan (j + 1)
     in
     scan 0
   end
-  else begin
+  else if not st.partial then begin
     let best = ref None and best_score = ref 0.0 in
     for j = 0 to st.ntotal - 1 do
       if st.status.(j) <> Basic then begin
@@ -201,12 +275,48 @@ let choose_entering st y ~phase1 =
           let score = Float.abs d in
           if score > !best_score then begin
             best_score := score;
-            best := Some (j, dir)
+            best := Some (j, dir, d)
           end
         | None -> ()
       end
     done;
     !best
+  end
+  else begin
+    let n = st.ntotal in
+    let best_j = ref (-1) and best_dir = ref 1.0 and best_d = ref 0.0 in
+    let best_score = ref 0.0 in
+    let k = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !k < n do
+      let j =
+        let c = st.price_cursor + !k in
+        if c >= n then c - n else c
+      in
+      incr k;
+      if st.status.(j) <> Basic then begin
+        let d = reduced_cost st y ~phase1 j in
+        match entering_direction st ~d j with
+        | Some dir ->
+          let score = Float.abs d in
+          if score > !best_score then begin
+            best_score := score;
+            best_j := j;
+            best_dir := dir;
+            best_d := d
+          end
+        | None -> ()
+      end;
+      if !best_j >= 0 && !k >= st.price_window then stop := true
+    done;
+    if !best_j < 0 then None
+    else begin
+      (* rotate so the next iteration prices a fresh section *)
+      st.price_cursor <-
+        (let c = st.price_cursor + !k in
+         if c >= n then c - n else c);
+      Some (!best_j, !best_dir, !best_d)
+    end
   end
 
 (* -------------------------------------------------------------------- *)
@@ -215,7 +325,7 @@ let choose_entering st y ~phase1 =
 type block =
   | No_block
   | Entering_flip of float
-  | Leaving of { row : int; step : float; bound : status }
+  | Leaving of { row : int; step : float; bound : col_status }
 
 (* In phase 1 an infeasible basic variable only blocks when it reaches the
    bound it violates (at which point it leaves the basis feasible); moving
@@ -281,8 +391,11 @@ let apply_move st alpha ~dir ~step j =
   if step <> 0.0 then begin
     st.xval.(j) <- st.xval.(j) +. (dir *. step);
     for i = 0 to st.m - 1 do
-      let b = st.basis.(i) in
-      st.xval.(b) <- st.xval.(b) -. (alpha.(i) *. dir *. step)
+      let a = alpha.(i) in
+      if a <> 0.0 then begin
+        let b = st.basis.(i) in
+        st.xval.(b) <- st.xval.(b) -. (a *. dir *. step)
+      end
     done
   end
 
@@ -299,17 +412,36 @@ let pivot st alpha ~row j ~bound =
   st.status.(j) <- Basic;
   let piv = alpha.(row) in
   let brow = st.binv.(row) in
+  (* scale the pivot row, recording its nonzero pattern; early in a solve —
+     and for every warm-started child re-solve — the basis inverse is still
+     close to a permuted identity, so routine pivots touch a few columns
+     instead of the full dense row *)
+  let nz = st.nzbuf in
+  let nnz = ref 0 in
   for k = 0 to st.m - 1 do
-    brow.(k) <- brow.(k) /. piv
+    let v = brow.(k) in
+    if v <> 0.0 then begin
+      brow.(k) <- v /. piv;
+      nz.(!nnz) <- k;
+      incr nnz
+    end
   done;
+  let nnz = !nnz in
+  let sparse_row = 2 * nnz < st.m in
   for i = 0 to st.m - 1 do
     if i <> row then begin
       let f = alpha.(i) in
       if f <> 0.0 then begin
         let bi = st.binv.(i) in
-        for k = 0 to st.m - 1 do
-          bi.(k) <- bi.(k) -. (f *. brow.(k))
-        done
+        if sparse_row then
+          for t = 0 to nnz - 1 do
+            let k = nz.(t) in
+            bi.(k) <- bi.(k) -. (f *. brow.(k))
+          done
+        else
+          for k = 0 to st.m - 1 do
+            bi.(k) <- bi.(k) -. (f *. brow.(k))
+          done
       end
     end
   done
@@ -317,7 +449,78 @@ let pivot st alpha ~row j ~bound =
 (* -------------------------------------------------------------------- *)
 (* Setup                                                                 *)
 
-let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_override (std : Model.std) =
+(* Nonbasic resting point for column [j] given a preferred bound: fall back
+   to whichever bound is finite (closest to zero, like a cold start) when
+   the preferred one is not. *)
+let set_nonbasic st j preferred =
+  let lo = st.lb.(j) and hi = st.ub.(j) in
+  let at_lower () = st.status.(j) <- At_lower; st.xval.(j) <- lo in
+  let at_upper () = st.status.(j) <- At_upper; st.xval.(j) <- hi in
+  let free () = st.status.(j) <- Nb_free; st.xval.(j) <- 0.0 in
+  match preferred with
+  | At_lower when Float.is_finite lo -> at_lower ()
+  | At_upper when Float.is_finite hi -> at_upper ()
+  | _ ->
+    if Float.is_finite lo && (Float.abs lo <= Float.abs hi || not (Float.is_finite hi)) then
+      at_lower ()
+    else if Float.is_finite hi then at_upper ()
+    else free ()
+
+(* All-slack starting basis: every structural column nonbasic at its best
+   bound, identity basis inverse. *)
+let set_cold st =
+  for j = 0 to st.std.nvars - 1 do
+    set_nonbasic st j At_lower
+  done;
+  for i = 0 to st.m - 1 do
+    st.basis.(i) <- st.std.nvars + i;
+    st.status.(st.std.nvars + i) <- Basic
+  done;
+  st.binv <- Array.init st.m (fun i -> Array.init st.m (fun k -> if i = k then 1.0 else 0.0));
+  st.dual_valid <- false;
+  recompute_basics st
+
+(* Restart from a caller-supplied basis: validate, install statuses and
+   nonbasic resting points (normalized against the possibly-tightened
+   bounds), then either adopt the supplied inverse or refactorize.  Returns
+   false — leaving the caller to fall back to a cold start — on any
+   structural mismatch or a singular basis. *)
+let try_warm st (wb : warm_basis) =
+  if Array.length wb.wcols <> st.m || Array.length wb.wstatus <> st.ntotal then false
+  else begin
+    let in_basis = Array.make st.ntotal false in
+    let ok = ref true in
+    Array.iter
+      (fun c ->
+        if c < 0 || c >= st.ntotal || in_basis.(c) then ok := false else in_basis.(c) <- true)
+      wb.wcols;
+    let binv_ok =
+      match wb.wbinv with
+      | None -> true
+      | Some b -> Array.length b = st.m && (st.m = 0 || Array.length b.(0) = st.m)
+    in
+    if (not !ok) || not binv_ok then false
+    else begin
+      Array.blit wb.wcols 0 st.basis 0 st.m;
+      for j = 0 to st.ntotal - 1 do
+        if in_basis.(j) then st.status.(j) <- Basic
+        else set_nonbasic st j wb.wstatus.(j)
+      done;
+      match
+        (match wb.wbinv with
+        | Some b -> st.binv <- Array.map Array.copy b
+        | None -> refactor st)
+      with
+      | () ->
+        st.dual_valid <- false;
+        recompute_basics st;
+        true
+      | exception Singular_basis -> false
+    end
+  end
+
+let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_override ?basis
+    ~partial (std : Model.std) =
   let m = std.nrows in
   let nvars = std.nvars in
   let ntotal = nvars + m in
@@ -343,28 +546,6 @@ let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_overrid
   done;
   let obj = Array.make ntotal 0.0 in
   Array.blit std.obj 0 obj 0 nvars;
-  let status = Array.make ntotal At_lower in
-  let xval = Array.make ntotal 0.0 in
-  for j = 0 to nvars - 1 do
-    (* nonbasic start at the finite bound closest to zero; free columns at 0 *)
-    if Float.is_finite lb.(j) && (Float.abs lb.(j) <= Float.abs ub.(j) || not (Float.is_finite ub.(j))) then begin
-      status.(j) <- At_lower;
-      xval.(j) <- lb.(j)
-    end
-    else if Float.is_finite ub.(j) then begin
-      status.(j) <- At_upper;
-      xval.(j) <- ub.(j)
-    end
-    else begin
-      status.(j) <- Nb_free;
-      xval.(j) <- 0.0
-    end
-  done;
-  let basis = Array.init m (fun i -> nvars + i) in
-  for i = 0 to m - 1 do
-    status.(nvars + i) <- Basic
-  done;
-  let binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
   let st =
     {
       std;
@@ -373,20 +554,28 @@ let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_overrid
       lb;
       ub;
       obj;
-      status;
-      xval;
-      basis;
-      binv;
+      status = Array.make ntotal At_lower;
+      xval = Array.make ntotal 0.0;
+      basis = Array.init m (fun i -> nvars + i);
+      binv = [||];
       feas_tol;
       dual_tol;
       pivot_tol = 1e-9;
       bland = false;
       degenerate_run = 0;
       iterations = 0;
+      dual = Array.make m 0.0;
+      dual_valid = false;
+      dual_phase1 = false;
+      partial;
+      price_window = Stdlib.max 256 (ntotal / 4);
+      price_cursor = 0;
+      nzbuf = Array.make m 0;
     }
   in
-  recompute_basics st;
-  st
+  let warmed = match basis with Some wb -> try_warm st wb | None -> false in
+  if not warmed then set_cold st;
+  (st, warmed)
 
 let objective_value st =
   let acc = ref st.std.obj_offset in
@@ -396,6 +585,8 @@ let objective_value st =
   !acc
 
 let extract st = Array.sub st.xval 0 st.std.nvars
+
+let final_basis st = { wcols = st.basis; wstatus = st.status; wbinv = Some st.binv }
 
 (* Trivial case: no constraints means each variable sits at whichever bound
    minimizes its objective coefficient. *)
@@ -418,10 +609,18 @@ let solve_unconstrained std lb ub =
     for j = 0 to n - 1 do
       obj := !obj +. (std.obj.(j) *. x.(j))
     done;
-    Optimal { x; obj = !obj; iterations = 0; duals = [||] }
+    Optimal
+      {
+        x;
+        obj = !obj;
+        iterations = 0;
+        duals = [||];
+        basis = { wcols = [||]; wstatus = [||]; wbinv = None };
+      }
   end
 
-let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.std) =
+let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = true) ?basis ?lb
+    ?ub (std : Model.std) =
   (* A variable fixed-range check also covers per-node bound conflicts. *)
   let lbs = match lb with Some a -> a | None -> std.lb in
   let ubs = match ub with Some a -> a | None -> std.ub in
@@ -432,7 +631,10 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.
   if !conflict then Infeasible { infeasibility = 1 }
   else if std.nrows = 0 then solve_unconstrained std lbs ubs
   else begin
-    let st = initial_state ~feas_tol ~dual_tol ?lb_override:lb ?ub_override:ub std in
+    let st, _warmed =
+      initial_state ~feas_tol ~dual_tol ?lb_override:lb ?ub_override:ub ?basis
+        ~partial:partial_pricing std
+    in
     let max_iters =
       match max_iters with
       | Some n -> n
@@ -450,8 +652,8 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.
       end;
       let _, infeas_count = total_infeasibility st in
       let phase1 = infeas_count > 0 in
-      let y = dual_values st ~phase1 in
-      match choose_entering st y ~phase1 with
+      ensure_duals st ~phase1;
+      match choose_entering st ~phase1 with
       | None ->
         if phase1 then begin
           (* Confirm infeasibility on a freshly factorized basis. *)
@@ -475,9 +677,15 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.
           result :=
             Some
               (Optimal
-                 { x = extract st; obj = objective_value st; iterations = st.iterations; duals })
+                 {
+                   x = extract st;
+                   obj = objective_value st;
+                   iterations = st.iterations;
+                   duals;
+                   basis = final_basis st;
+                 })
         end
-      | Some (j, dir) -> begin
+      | Some (j, dir, d) -> begin
         let alpha = ftran st j in
         match ratio_test st alpha ~dir ~phase1 j with
         | No_block ->
@@ -498,6 +706,9 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.
              | At_lower -> At_upper
              | At_upper -> At_lower
              | s -> s);
+          (* a bound flip keeps the basis and, in phase 2, the duals; the
+             phase-1 cost vector may shift with the moved basic values *)
+          if phase1 then st.dual_valid <- false;
           incr since_refactor
         | Leaving { row; step; bound } ->
           if step <= st.feas_tol then begin
@@ -510,6 +721,8 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb ?ub (std : Model.
           end;
           apply_move st alpha ~dir ~step j;
           pivot st alpha ~row j ~bound;
+          if phase1 then st.dual_valid <- false
+          else if st.dual_valid then update_duals_after_pivot st ~row ~d;
           incr since_refactor
       end
     done;

@@ -8,14 +8,45 @@
     - infeasible starts are handled by a piecewise-linear phase 1 that
       minimizes the total bound violation of basic variables (no artificial
       columns are added);
-    - pricing is Dantzig's rule with an automatic switch to Bland's rule
-      after a run of degenerate pivots, which guarantees termination;
+    - pricing is candidate-list partial pricing over a rotating window
+      (Dantzig scores within the window), with an automatic switch to
+      Bland's rule after a run of degenerate pivots, which guarantees
+      termination; the simplex multipliers are cached and updated
+      incrementally after phase-2 pivots instead of being recomputed by a
+      dense BTRAN every iteration;
     - the basis inverse is refactorized (rebuilt by Gauss–Jordan elimination
       from the current basis) periodically and before declaring optimality,
-      bounding numerical drift.
+      bounding numerical drift; routine pivot updates exploit the sparsity
+      of the pivot row;
+    - solves can be warm-started from the final basis of a previous solve of
+      the same model with different bounds — this is how {!Branch_bound}
+      restarts each child node from its parent's optimal basis.
 
     Integrality markers in the input are ignored: this is the LP relaxation
     solver used by {!Branch_bound}. *)
+
+type col_status = Basic | At_lower | At_upper | Nb_free
+(** Where a column currently rests: basic, pinned at a bound, or free at
+    zero. *)
+
+type warm_basis = {
+  wcols : int array;  (** [wcols.(i)] is the column basic in row [i] (slack
+                          columns are [nvars + row]). *)
+  wstatus : col_status array;
+      (** One entry per column including slacks; nonbasic entries record
+          which bound the column rests on. *)
+  wbinv : float array array option;
+      (** The basis inverse matching [wcols], when available.  Supplying it
+          lets a restart skip the O(m³) refactorization; dropping it (set to
+          [None]) keeps a stored snapshot at O(columns) memory.  When
+          present it must genuinely be the inverse of the [wcols] basis —
+          it is adopted unchecked. *)
+}
+(** A restartable snapshot of a simplex basis.  Obtained from
+    {!result.Optimal} and fed back through [solve ~basis]; the solver
+    validates the structural fields and silently falls back to a cold start
+    on any mismatch, so a stale snapshot degrades performance, not
+    correctness. *)
 
 type result =
   | Optimal of {
@@ -23,11 +54,13 @@ type result =
       obj : float;
       iterations : int;
       duals : float array;
+      basis : warm_basis;
     }
       (** [x] has one entry per structural variable; [obj] includes the
           model's objective offset; [duals] holds one simplex multiplier per
           row — the shadow price of the constraint at the optimum (zero for
-          non-binding rows). *)
+          non-binding rows).  [basis] is the final basis (with its inverse)
+          for warm-starting related solves. *)
   | Infeasible of { infeasibility : int }
       (** Phase 1 converged with the given number of still-violated basic
           variables. *)
@@ -40,11 +73,16 @@ val solve :
   ?max_iters:int ->
   ?feas_tol:float ->
   ?dual_tol:float ->
+  ?partial_pricing:bool ->
+  ?basis:warm_basis ->
   ?lb:float array ->
   ?ub:float array ->
   Model.std ->
   result
 (** [solve std] solves the LP relaxation.  [lb]/[ub] override the structural
     variable bounds without touching [std] (this is how branch-and-bound
-    explores nodes).  Defaults: [max_iters] scales with problem size,
-    [feas_tol = 1e-7], [dual_tol = 1e-7]. *)
+    explores nodes).  [basis] warm-starts from a previous solve's final
+    basis (see {!warm_basis}); [partial_pricing:false] reverts to a full
+    Dantzig scan every iteration (kept for benchmarking the pricing
+    scheme).  Defaults: [max_iters] scales with problem size,
+    [feas_tol = 1e-7], [dual_tol = 1e-7], [partial_pricing = true]. *)

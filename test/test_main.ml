@@ -5,6 +5,7 @@ let () =
     [
       ("stats", Test_stats.suite);
       ("mip", Test_mip.suite);
+      ("warmstart", Test_warmstart.suite);
       ("presolve", Test_presolve.suite);
       ("topology", Test_topology.suite);
       ("workload", Test_workload.suite);
