@@ -1,0 +1,19 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# build + tests + quick kernel-bench smoke; the pre-merge gate
+check:
+	sh scripts/check.sh
+
+clean:
+	dune clean

@@ -6,10 +6,13 @@
      formulation build, model compile, and a full phase-1 solve.
    - Direct wall-clock benchmarks of the LP/MIP hot path on the Table-1
      scenario sizes: LP pivots/sec under full-Dantzig vs candidate-list
-     pricing, and branch-and-bound nodes/sec cold-started (the seed
-     implementation's behaviour) vs warm-started from parent bases.  The
-     cold/warm pair is the before/after measurement for the warm-start
-     engineering — the speedup is printed, not asserted.
+     pricing and under the dense-inverse vs LU+eta basis backends, and
+     branch-and-bound nodes/sec in three generations — cold-started
+     (the seed implementation's behaviour), warm-started with primal
+     restarts on the dense inverse (PR 1), and warm-started with
+     dual-simplex restarts on the factorized basis (current default).
+     Each pair prints its speedup and bound agreement; nothing is
+     asserted.
 
    Every result row is also appended to BENCH_kernels.json (kernel name,
    size, wall time, rates) so future changes have a perf trajectory to
@@ -98,37 +101,66 @@ let size_of (std : Model.std) = Printf.sprintf "nvars=%d nrows=%d" std.Model.nva
 (* LP kernel: pivots/sec under the two pricing schemes               *)
 
 let lp_kernel ~label ~repeats (std : Model.std) =
-  let run partial =
+  let run partial backend =
     let t0 = Unix.gettimeofday () in
     let iters = ref 0 in
-    let status = ref "?" in
+    let status = ref "?" and obj = ref nan in
     for _ = 1 to repeats do
-      match Simplex.solve ~partial_pricing:partial std with
-      | Simplex.Optimal { iterations; _ } ->
+      match Simplex.solve ~partial_pricing:partial ~backend std with
+      | Simplex.Optimal { iterations; obj = o; _ } ->
         iters := !iters + iterations;
+        obj := o;
         status := "optimal"
       | Simplex.Infeasible _ -> status := "infeasible"
       | Simplex.Unbounded -> status := "unbounded"
       | Simplex.Iteration_limit _ -> status := "iteration-limit"
     done;
     let dt = Unix.gettimeofday () -. t0 in
-    (dt, !iters, !status)
+    (dt, !iters, !status, !obj)
   in
+  let rates = Hashtbl.create 4 and objs = Hashtbl.create 4 in
   List.iter
-    (fun (mode, partial) ->
-      let dt, iters, status = run partial in
+    (fun (mode, partial, backend) ->
+      let dt, iters, status, obj = run partial backend in
       let name = Printf.sprintf "lp-%s-%s" label mode in
+      let rate = float_of_int iters /. dt in
+      Hashtbl.replace rates mode rate;
+      Hashtbl.replace objs mode obj;
       Report.row "%-34s %8.3fs  %6d pivots  %9.0f pivots/s  %6.1f LP/s  [%s]\n" name dt iters
-        (float_of_int iters /. dt)
+        rate
         (float_of_int repeats /. dt)
         status;
       record ~kernel:name ~size:(size_of std) ~wall_s:dt
         [
           ("pivots", string_of_int iters);
-          ("pivots_per_sec", flt (float_of_int iters /. dt));
+          ("pivots_per_sec", flt rate);
           ("lps_per_sec", flt (float_of_int repeats /. dt));
         ])
-    [ ("full-pricing", false); ("partial-pricing", true) ]
+    [
+      ("full-pricing", false, Ras_mip.Basis.Lu);
+      ("partial-pricing", true, Ras_mip.Basis.Lu);
+      ("dense-inverse", true, Ras_mip.Basis.Dense);
+    ];
+  (* eta-vs-dense: same pricing scheme, the basis backend is the only
+     difference *)
+  let lu_rate = Hashtbl.find rates "partial-pricing" in
+  let dn_rate = Hashtbl.find rates "dense-inverse" in
+  let lu_obj = Hashtbl.find objs "partial-pricing" in
+  let dn_obj = Hashtbl.find objs "dense-inverse" in
+  let obj_agree =
+    (Float.is_nan lu_obj && Float.is_nan dn_obj)
+    || Float.abs (lu_obj -. dn_obj) <= 1e-4 *. Float.max 1.0 (Float.abs dn_obj)
+  in
+  Report.row "%-34s %.2fx pivots/s speedup, objectives agree: %b\n"
+    (Printf.sprintf "lp-%s eta-vs-dense" label)
+    (lu_rate /. dn_rate) obj_agree;
+  record
+    ~kernel:(Printf.sprintf "lp-%s-eta-vs-dense" label)
+    ~size:(size_of std) ~wall_s:0.0
+    [
+      ("pivots_per_sec_ratio", flt (lu_rate /. dn_rate));
+      ("objectives_agree", string_of_bool obj_agree);
+    ]
 
 (* ---------------------------------------------------------------- *)
 (* B&B kernel: nodes/sec cold (seed behaviour) vs warm-started       *)
@@ -140,14 +172,16 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
     let dt = Unix.gettimeofday () -. t0 in
     let nodes_per_sec = float_of_int out.Branch_bound.nodes /. dt in
     Report.row
-      "%-34s %8.3fs  %4d nodes (%d warm)  %6.1f nodes/s  %6d pivots  %9.0f pivots/s\n" name dt
-      out.Branch_bound.nodes out.Branch_bound.warm_started_nodes nodes_per_sec
-      out.Branch_bound.lp_iterations
-      (float_of_int out.Branch_bound.lp_iterations /. dt);
+      "%-34s %8.3fs  %4d nodes (%d warm, %d dual)  %6.1f nodes/s  %6d pivots (%d dual)\n" name
+      dt out.Branch_bound.nodes out.Branch_bound.warm_started_nodes
+      out.Branch_bound.dual_restarted_nodes nodes_per_sec out.Branch_bound.lp_iterations
+      out.Branch_bound.dual_pivots;
     record ~kernel:name ~size:(size_of std) ~wall_s:dt
       [
         ("nodes", string_of_int out.Branch_bound.nodes);
         ("warm_started_nodes", string_of_int out.Branch_bound.warm_started_nodes);
+        ("dual_restarted_nodes", string_of_int out.Branch_bound.dual_restarted_nodes);
+        ("dual_pivots", string_of_int out.Branch_bound.dual_pivots);
         ("nodes_per_sec", flt nodes_per_sec);
         ("lp_pivots", string_of_int out.Branch_bound.lp_iterations);
         ("pivots_per_sec", flt (float_of_int out.Branch_bound.lp_iterations /. dt));
@@ -156,24 +190,42 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
     (out, nodes_per_sec)
   in
   let base = { Branch_bound.default_options with Branch_bound.node_limit; time_limit } in
+  let agree a b =
+    a.Branch_bound.status = b.Branch_bound.status
+    && Float.abs (a.Branch_bound.best_bound -. b.Branch_bound.best_bound)
+       <= 1e-4 *. Float.max 1.0 (Float.abs a.Branch_bound.best_bound)
+  in
+  let speedup name num_rate den_rate ok =
+    Report.row "%-34s %.2fx nodes/s speedup, bounds agree: %b\n"
+      (Printf.sprintf "bb-%s %s" label name)
+      (num_rate /. den_rate) ok;
+    record
+      ~kernel:(Printf.sprintf "bb-%s-%s" label name)
+      ~size:(size_of std) ~wall_s:0.0
+      [ ("nodes_per_sec_ratio", flt (num_rate /. den_rate)); ("bounds_agree", string_of_bool ok) ]
+  in
+  (* seed behaviour: cold starts, full pricing, dense inverse *)
   let cold, cold_rate =
     run
       (Printf.sprintf "bb-%s-cold" label)
-      { base with Branch_bound.warm_start = false; lp_partial_pricing = false }
+      {
+        base with
+        Branch_bound.warm_start = false;
+        lp_partial_pricing = false;
+        lp_backend = Ras_mip.Basis.Dense;
+        dual_restart = false;
+      }
   in
-  let warm, warm_rate = run (Printf.sprintf "bb-%s-warm" label) base in
-  let agree =
-    cold.Branch_bound.status = warm.Branch_bound.status
-    && Float.abs (cold.Branch_bound.best_bound -. warm.Branch_bound.best_bound)
-       <= 1e-4 *. Float.max 1.0 (Float.abs cold.Branch_bound.best_bound)
+  (* PR-1 behaviour: warm primal restarts on the dense inverse *)
+  let primal, primal_rate =
+    run
+      (Printf.sprintf "bb-%s-warm-primal-dense" label)
+      { base with Branch_bound.lp_backend = Ras_mip.Basis.Dense; dual_restart = false }
   in
-  Report.row "%-34s %.2fx nodes/s speedup, bounds agree: %b\n"
-    (Printf.sprintf "bb-%s warm-vs-cold" label)
-    (warm_rate /. cold_rate) agree;
-  record
-    ~kernel:(Printf.sprintf "bb-%s-speedup" label)
-    ~size:(size_of std) ~wall_s:0.0
-    [ ("nodes_per_sec_ratio", flt (warm_rate /. cold_rate)); ("bounds_agree", string_of_bool agree) ]
+  (* current default: warm dual-simplex restarts on the factorized basis *)
+  let dual, dual_rate = run (Printf.sprintf "bb-%s-warm-dual-lu" label) base in
+  speedup "warm-vs-cold" dual_rate cold_rate (agree cold dual);
+  speedup "dual-vs-primal" dual_rate primal_rate (agree primal dual)
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks (build kernels)                         *)

@@ -36,6 +36,8 @@ type stats = {
   solver_nodes : int;
   solver_lp_iterations : int;
   solver_warm_starts : int;
+  solver_dual_restarts : int;
+  solver_dual_pivots : int;
 }
 
 let owner_of_res res =
@@ -215,4 +217,6 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
     solver_nodes = sum (fun o -> o.Branch_bound.nodes);
     solver_lp_iterations = sum (fun o -> o.Branch_bound.lp_iterations);
     solver_warm_starts = sum (fun o -> o.Branch_bound.warm_started_nodes);
+    solver_dual_restarts = sum (fun o -> o.Branch_bound.dual_restarted_nodes);
+    solver_dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
   }

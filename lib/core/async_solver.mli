@@ -40,6 +40,9 @@ type stats = {
   solver_warm_starts : int;
       (** nodes whose LP restarted from a parent basis (see
           {!Ras_mip.Branch_bound}); the warm-start hit rate of this solve *)
+  solver_dual_restarts : int;
+      (** warm-started nodes that re-optimized via the dual-simplex phase *)
+  solver_dual_pivots : int;  (** dual-simplex pivots across both phases *)
 }
 
 val solve :

@@ -73,6 +73,8 @@ let run ?params ?(mip_time_limit = 60.0) ?(mip_node_limit = 2000) ?(rack_level =
         nodes = 0;
         lp_iterations = 0;
         warm_started_nodes = 0;
+        dual_restarted_nodes = 0;
+        dual_pivots = 0;
         elapsed = 0.0;
       }
     end

@@ -1,0 +1,682 @@
+(* Factorized simplex basis.  Two representations behind one interface:
+
+   - Lu: sparse LU computed with Markowitz pivoting (threshold partial
+     pivoting for stability, minimum fill-in cost for sparsity), extended
+     between refactorizations by a product-form eta file.  All solves run
+     through the triangular factors and the etas, touching factor nonzeros
+     only.
+   - Dense: the dense Gauss-Jordan basis inverse the solver originally
+     maintained, kept verbatim as the differential-testing oracle.
+
+   Index conventions (shared with Simplex): the basis matrix B is m x m with
+   rows = constraint rows and column i = constraint column basis.(i) (a
+   "basis position").  FTRAN inputs are row-indexed and outputs basis-
+   position-indexed; BTRAN is the reverse. *)
+
+type kind = Dense | Lu
+
+exception Singular
+
+(* Product-form eta from the pivot alpha = B^-1 a_q entering at basis
+   position [er]: E = I - (alpha - e_r) e_r^T / alpha_r, so the new inverse
+   is E B^-1.  Stored sparse: off-pivot nonzeros of alpha plus the pivot. *)
+type eta = {
+  er : int;
+  epiv : float;
+  erows : int array;  (* basis positions i <> er with alpha_i <> 0 *)
+  evals : float array;
+}
+
+type lu = {
+  rperm : int array;  (* elimination step -> constraint row *)
+  rpos : int array;  (* constraint row -> elimination step *)
+  cperm : int array;  (* elimination step -> basis position *)
+  cpos : int array;  (* basis position -> elimination step *)
+  lrows : int array array;  (* L column k: constraint rows below the pivot *)
+  lvals : float array array;  (* matching multipliers *)
+  ucols : int array array;  (* U row k: later elimination steps *)
+  uvals : float array array;
+  udiag : float array;
+  mutable etas : eta array;
+  mutable neta : int;
+  mutable ennz : int;
+}
+
+type dense = { mutable inv : float array array; nzbuf : int array }
+
+type repr = Dense_r of dense | Lu_r of lu
+
+type t = {
+  m : int;
+  knd : kind;
+  mutable repr : repr;
+  mutable updates : int;
+  update_limit : int;
+  mutable err : float;
+  mutable refactors : int;
+}
+
+(* Update-chain budgets: the dense rank-one update is cheap and accurate
+   enough to run for a long time (the historical refactor-every-300-pivots
+   policy); the eta file also costs one pass per solve, so it is kept
+   short. *)
+let dense_update_limit = 300
+let lu_update_limit = 48
+
+(* Accumulated-error threshold: each accepted pivot contributes an estimate
+   proportional to its growth factor; crossing this forces refactorization
+   even when the chain is short. *)
+let err_limit = 1e-8
+
+(* A pivot below either bound cannot be applied stably: absolute floor, and
+   a relative test against the largest entry of the FTRAN'd column. *)
+let pivot_abs_min = 1e-9
+let pivot_rel_min = 1e-7
+
+let identity_dense m =
+  Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0))
+
+let identity_lu m =
+  {
+    rperm = Array.init m Fun.id;
+    rpos = Array.init m Fun.id;
+    cperm = Array.init m Fun.id;
+    cpos = Array.init m Fun.id;
+    lrows = Array.make m [||];
+    lvals = Array.make m [||];
+    ucols = Array.make m [||];
+    uvals = Array.make m [||];
+    udiag = Array.make m 1.0;
+    etas = [||];
+    neta = 0;
+    ennz = 0;
+  }
+
+let create knd ~m =
+  {
+    m;
+    knd;
+    repr =
+      (match knd with
+      | Dense -> Dense_r { inv = identity_dense m; nzbuf = Array.make m 0 }
+      | Lu -> Lu_r (identity_lu m));
+    updates = 0;
+    update_limit = (match knd with Dense -> dense_update_limit | Lu -> lu_update_limit);
+    err = 0.0;
+    refactors = 0;
+  }
+
+let kind t = t.knd
+let dim t = t.m
+let updates_since_refactor t = t.updates
+let refactor_count t = t.refactors
+
+let eta_nnz t = match t.repr with Dense_r _ -> 0 | Lu_r lu -> lu.ennz
+
+let should_refactorize t = t.updates >= t.update_limit || t.err > err_limit
+
+let set_identity t =
+  (match t.repr with
+  | Dense_r d -> d.inv <- identity_dense t.m
+  | Lu_r _ -> t.repr <- Lu_r (identity_lu t.m));
+  t.updates <- 0;
+  t.err <- 0.0
+
+let copy t =
+  {
+    t with
+    repr =
+      (match t.repr with
+      | Dense_r d -> Dense_r { inv = Array.map Array.copy d.inv; nzbuf = Array.make t.m 0 }
+      | Lu_r lu ->
+        Lu_r
+          {
+            lu with
+            rperm = Array.copy lu.rperm;
+            rpos = Array.copy lu.rpos;
+            cperm = Array.copy lu.cperm;
+            cpos = Array.copy lu.cpos;
+            etas = Array.sub lu.etas 0 lu.neta;
+            (* factor bodies (lrows .. udiag) are immutable after
+               factorization, so sharing them between copies is safe *)
+          });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dense backend: Gauss-Jordan refactorization and rank-one updates    *)
+
+let dense_refactorize m ~basis ~col =
+  let b = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    col basis.(i) (fun r c -> b.(r).(i) <- c)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
+  for c = 0 to m - 1 do
+    let best = ref c in
+    for r = c + 1 to m - 1 do
+      if Float.abs b.(r).(c) > Float.abs b.(!best).(c) then best := r
+    done;
+    if Float.abs b.(!best).(c) < 1e-12 then raise Singular;
+    if !best <> c then begin
+      let tmp = b.(c) in
+      b.(c) <- b.(!best);
+      b.(!best) <- tmp;
+      let tmp = inv.(c) in
+      inv.(c) <- inv.(!best);
+      inv.(!best) <- tmp
+    end;
+    let piv = b.(c).(c) in
+    for k = 0 to m - 1 do
+      b.(c).(k) <- b.(c).(k) /. piv;
+      inv.(c).(k) <- inv.(c).(k) /. piv
+    done;
+    for r = 0 to m - 1 do
+      if r <> c then begin
+        let f = b.(r).(c) in
+        if f <> 0.0 then
+          for k = 0 to m - 1 do
+            b.(r).(k) <- b.(r).(k) -. (f *. b.(c).(k));
+            inv.(r).(k) <- inv.(r).(k) -. (f *. inv.(c).(k))
+          done
+      end
+    done
+  done;
+  inv
+
+(* Rank-one update of the explicit inverse through the nonzero pattern of
+   the scaled pivot row (sparse whenever the basis is near an identity, the
+   common warm-start case). *)
+let dense_update m d ~alpha ~row =
+  let piv = alpha.(row) in
+  let brow = d.inv.(row) in
+  let nz = d.nzbuf in
+  let nnz = ref 0 in
+  for k = 0 to m - 1 do
+    let v = brow.(k) in
+    if v <> 0.0 then begin
+      brow.(k) <- v /. piv;
+      nz.(!nnz) <- k;
+      incr nnz
+    end
+  done;
+  let nnz = !nnz in
+  let sparse_row = 2 * nnz < m in
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = alpha.(i) in
+      if f <> 0.0 then begin
+        let bi = d.inv.(i) in
+        if sparse_row then
+          for u = 0 to nnz - 1 do
+            let k = nz.(u) in
+            bi.(k) <- bi.(k) -. (f *. brow.(k))
+          done
+        else
+          for k = 0 to m - 1 do
+            bi.(k) <- bi.(k) -. (f *. brow.(k))
+          done
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU factorization with Markowitz pivoting                      *)
+
+(* Threshold for accepting a pivot relative to its column's largest entry:
+   larger = more stable, smaller = sparser factors. *)
+let markowitz_tau = 0.1
+
+(* How many smallest-count candidate columns to examine per step. *)
+let markowitz_cands = 4
+
+let lu_refactorize m ~basis ~col =
+  (* Working matrix: rows as parallel growable (col, val) arrays; column
+     patterns as growable row lists that may carry stale entries (lazily
+     compacted against the row store). *)
+  let rcol = Array.make m [||] and rval = Array.make m [||] in
+  let rlen = Array.make m 0 in
+  let crow = Array.make m [||] in
+  let clen = Array.make m 0 in
+  let row_push r c v =
+    let n = rlen.(r) in
+    if n = Array.length rcol.(r) then begin
+      let cap = Stdlib.max 4 (2 * n) in
+      let nc = Array.make cap 0 and nv = Array.make cap 0.0 in
+      Array.blit rcol.(r) 0 nc 0 n;
+      Array.blit rval.(r) 0 nv 0 n;
+      rcol.(r) <- nc;
+      rval.(r) <- nv
+    end;
+    rcol.(r).(n) <- c;
+    rval.(r).(n) <- v;
+    rlen.(r) <- n + 1
+  in
+  let col_push c r =
+    let n = clen.(c) in
+    if n = Array.length crow.(c) then begin
+      let cap = Stdlib.max 4 (2 * n) in
+      let nr = Array.make cap 0 in
+      Array.blit crow.(c) 0 nr 0 n;
+      crow.(c) <- nr
+    end;
+    crow.(c).(n) <- r;
+    clen.(c) <- n + 1
+  in
+  let row_find r c =
+    let a = rcol.(r) and n = rlen.(r) in
+    let rec go i = if i >= n then -1 else if a.(i) = c then i else go (i + 1) in
+    go 0
+  in
+  let row_delete r idx =
+    let n = rlen.(r) - 1 in
+    rcol.(r).(idx) <- rcol.(r).(n);
+    rval.(r).(idx) <- rval.(r).(n);
+    rlen.(r) <- n
+  in
+  for i = 0 to m - 1 do
+    col basis.(i) (fun r v ->
+        if v <> 0.0 then begin
+          row_push r i v;
+          col_push i r
+        end)
+  done;
+  let row_active = Array.make m true and col_active = Array.make m true in
+  (* scratch for compacted column entries *)
+  let cand_rows = Array.make m 0 and cand_vals = Array.make m 0.0 in
+  let seen = Array.make m (-1) in
+  let tick = ref 0 in
+  (* Rebuild column c's list from live row entries (dedup via [seen]);
+     returns the live count with (row, value) pairs in the scratch arrays. *)
+  let compact_col c =
+    incr tick;
+    let t0 = !tick in
+    let a = crow.(c) in
+    let n = ref 0 in
+    for u = 0 to clen.(c) - 1 do
+      let r = a.(u) in
+      if row_active.(r) && seen.(r) <> t0 then begin
+        let idx = row_find r c in
+        if idx >= 0 then begin
+          seen.(r) <- t0;
+          a.(!n) <- r;
+          cand_rows.(!n) <- r;
+          cand_vals.(!n) <- rval.(r).(idx);
+          incr n
+        end
+      end
+    done;
+    clen.(c) <- !n;
+    !n
+  in
+  (* outputs *)
+  let rperm = Array.make m 0 and rpos = Array.make m 0 in
+  let cperm = Array.make m 0 and cpos = Array.make m 0 in
+  let lrows = Array.make m [||] and lvals = Array.make m [||] in
+  let ucols = Array.make m [||] and uvals = Array.make m [||] in
+  let udiag = Array.make m 0.0 in
+  (* per-step scratch *)
+  let urow_c = Array.make m 0 and urow_v = Array.make m 0.0 in
+  let lrow_r = Array.make m 0 and lrow_v = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    (* --- pivot selection: best Markowitz cost among eligible entries of a
+       few smallest-count active columns --- *)
+    let cands = Array.make markowitz_cands (-1) in
+    let ncand = ref 0 in
+    for c = 0 to m - 1 do
+      if col_active.(c) then begin
+        (* insertion into the sorted candidate window by (possibly stale,
+           hence over-estimated) column count *)
+        let i = ref !ncand in
+        while !i > 0 && clen.(cands.(!i - 1)) > clen.(c) do
+          if !i < markowitz_cands then cands.(!i) <- cands.(!i - 1);
+          decr i
+        done;
+        if !i < markowitz_cands then begin
+          cands.(!i) <- c;
+          if !ncand < markowitz_cands then incr ncand
+        end
+      end
+    done;
+    if !ncand = 0 then raise Singular;
+    let best_r = ref (-1) and best_c = ref (-1) and best_v = ref 0.0 in
+    let best_cost = ref max_int and best_mag = ref 0.0 in
+    for t = 0 to !ncand - 1 do
+      let c = cands.(t) in
+      if c >= 0 && col_active.(c) then begin
+        let n = compact_col c in
+        if n = 0 then raise Singular;
+        let colmax = ref 0.0 in
+        for u = 0 to n - 1 do
+          let a = Float.abs cand_vals.(u) in
+          if a > !colmax then colmax := a
+        done;
+        if !colmax < 1e-12 then raise Singular;
+        let thresh = markowitz_tau *. !colmax in
+        for u = 0 to n - 1 do
+          let v = cand_vals.(u) in
+          let a = Float.abs v in
+          if a >= thresh then begin
+            let r = cand_rows.(u) in
+            let cost = (rlen.(r) - 1) * (n - 1) in
+            if cost < !best_cost || (cost = !best_cost && a > !best_mag) then begin
+              best_cost := cost;
+              best_mag := a;
+              best_r := r;
+              best_c := c;
+              best_v := v
+            end
+          end
+        done
+      end
+    done;
+    if !best_r < 0 then raise Singular;
+    let prow = !best_r and pcol = !best_c and pv = !best_v in
+    rperm.(k) <- prow;
+    rpos.(prow) <- k;
+    cperm.(k) <- pcol;
+    cpos.(pcol) <- k;
+    row_active.(prow) <- false;
+    col_active.(pcol) <- false;
+    udiag.(k) <- pv;
+    (* --- U row k: the pivot row's remaining live entries --- *)
+    let un = ref 0 in
+    for idx = 0 to rlen.(prow) - 1 do
+      let c = rcol.(prow).(idx) in
+      if col_active.(c) then begin
+        urow_c.(!un) <- c;
+        urow_v.(!un) <- rval.(prow).(idx);
+        incr un
+      end
+    done;
+    let un = !un in
+    ucols.(k) <- Array.sub urow_c 0 un;
+    uvals.(k) <- Array.sub urow_v 0 un;
+    (* --- eliminate the pivot column from the remaining active rows --- *)
+    let ln = ref 0 in
+    let pn = compact_col pcol in
+    for u = 0 to pn - 1 do
+      let r = cand_rows.(u) and f = cand_vals.(u) in
+      let l = f /. pv in
+      lrow_r.(!ln) <- r;
+      lrow_v.(!ln) <- l;
+      incr ln;
+      (let idx = row_find r pcol in
+       if idx >= 0 then row_delete r idx);
+      for w = 0 to un - 1 do
+        let c = ucols.(k).(w) and uv = uvals.(k).(w) in
+        let idx = row_find r c in
+        if idx >= 0 then begin
+          let old = rval.(r).(idx) in
+          let nv = old -. (l *. uv) in
+          if Float.abs nv <= 1e-14 *. (Float.abs old +. Float.abs (l *. uv)) then
+            row_delete r idx
+          else rval.(r).(idx) <- nv
+        end
+        else begin
+          let nv = -.(l *. uv) in
+          if nv <> 0.0 then begin
+            row_push r c nv;
+            col_push c r
+          end
+        end
+      done
+    done;
+    lrows.(k) <- Array.sub lrow_r 0 !ln;
+    lvals.(k) <- Array.sub lrow_v 0 !ln
+  done;
+  (* convert U column ids from basis positions to elimination steps *)
+  for k = 0 to m - 1 do
+    let uc = ucols.(k) in
+    for t = 0 to Array.length uc - 1 do
+      uc.(t) <- cpos.(uc.(t))
+    done
+  done;
+  {
+    rperm;
+    rpos;
+    cperm;
+    cpos;
+    lrows;
+    lvals;
+    ucols;
+    uvals;
+    udiag;
+    etas = [||];
+    neta = 0;
+    ennz = 0;
+  }
+
+let refactorize t ~basis ~col =
+  (* build first, install second: a Singular raise leaves [t] unchanged *)
+  (match t.knd with
+  | Dense ->
+    let inv = dense_refactorize t.m ~basis ~col in
+    (match t.repr with Dense_r d -> d.inv <- inv | Lu_r _ -> assert false)
+  | Lu -> t.repr <- Lu_r (lu_refactorize t.m ~basis ~col));
+  t.updates <- 0;
+  t.err <- 0.0;
+  t.refactors <- t.refactors + 1
+
+(* ------------------------------------------------------------------ *)
+(* LU solves                                                           *)
+
+(* x := B0^-1 x through the triangular factors, where x arrives indexed by
+   constraint row and leaves indexed by basis position. *)
+let lu_solve lu m x =
+  let z = Array.make m 0.0 in
+  (* forward: L z = P x, updating the row-indexed workspace in place (every
+     L column only touches rows that pivot later) *)
+  for k = 0 to m - 1 do
+    let zk = x.(lu.rperm.(k)) in
+    z.(k) <- zk;
+    if zk <> 0.0 then begin
+      let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+      for u = 0 to Array.length lr - 1 do
+        x.(lr.(u)) <- x.(lr.(u)) -. (lv.(u) *. zk)
+      done
+    end
+  done;
+  (* back: U y = z in place *)
+  for k = m - 1 downto 0 do
+    let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+    let acc = ref z.(k) in
+    for u = 0 to Array.length uc - 1 do
+      acc := !acc -. (uv.(u) *. z.(uc.(u)))
+    done;
+    z.(k) <- !acc /. lu.udiag.(k)
+  done;
+  (* permute back to basis positions, reusing the input array *)
+  for k = 0 to m - 1 do
+    x.(lu.cperm.(k)) <- z.(k)
+  done
+
+let apply_etas lu x =
+  for e = 0 to lu.neta - 1 do
+    let eta = lu.etas.(e) in
+    let xr = x.(eta.er) /. eta.epiv in
+    x.(eta.er) <- xr;
+    if xr <> 0.0 then begin
+      let rs = eta.erows and vs = eta.evals in
+      for u = 0 to Array.length rs - 1 do
+        x.(rs.(u)) <- x.(rs.(u)) -. (vs.(u) *. xr)
+      done
+    end
+  done
+
+(* y := B0^-T y: input indexed by basis position, output by constraint row. *)
+let lu_solve_t lu m y =
+  let d = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    d.(k) <- y.(lu.cperm.(k))
+  done;
+  (* U^T d' = d, ascending *)
+  for k = 0 to m - 1 do
+    let dk = d.(k) /. lu.udiag.(k) in
+    d.(k) <- dk;
+    if dk <> 0.0 then begin
+      let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+      for u = 0 to Array.length uc - 1 do
+        d.(uc.(u)) <- d.(uc.(u)) -. (uv.(u) *. dk)
+      done
+    end
+  done;
+  (* L^T e = d, descending *)
+  for k = m - 1 downto 0 do
+    let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+    let acc = ref d.(k) in
+    for u = 0 to Array.length lr - 1 do
+      acc := !acc -. (lv.(u) *. d.(lu.rpos.(lr.(u))))
+    done;
+    d.(k) <- !acc
+  done;
+  for k = 0 to m - 1 do
+    y.(lu.rperm.(k)) <- d.(k)
+  done
+
+let apply_etas_t lu y =
+  for e = lu.neta - 1 downto 0 do
+    let eta = lu.etas.(e) in
+    let rs = eta.erows and vs = eta.evals in
+    let s = ref 0.0 in
+    for u = 0 to Array.length rs - 1 do
+      s := !s +. (vs.(u) *. y.(rs.(u)))
+    done;
+    y.(eta.er) <- (y.(eta.er) -. !s) /. eta.epiv
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public solves                                                       *)
+
+let ftran_dense t b =
+  match t.repr with
+  | Dense_r d ->
+    let out = Array.make t.m 0.0 in
+    for i = 0 to t.m - 1 do
+      let bi = d.inv.(i) in
+      let acc = ref 0.0 in
+      for k = 0 to t.m - 1 do
+        acc := !acc +. (bi.(k) *. b.(k))
+      done;
+      out.(i) <- !acc
+    done;
+    out
+  | Lu_r lu ->
+    let x = Array.copy b in
+    lu_solve lu t.m x;
+    apply_etas lu x;
+    x
+
+let ftran_col t rows coefs =
+  match t.repr with
+  | Dense_r d ->
+    let out = Array.make t.m 0.0 in
+    let ne = Array.length rows in
+    for i = 0 to t.m - 1 do
+      let bi = d.inv.(i) in
+      let acc = ref 0.0 in
+      for k = 0 to ne - 1 do
+        acc := !acc +. (bi.(rows.(k)) *. coefs.(k))
+      done;
+      out.(i) <- !acc
+    done;
+    out
+  | Lu_r lu ->
+    let x = Array.make t.m 0.0 in
+    for k = 0 to Array.length rows - 1 do
+      x.(rows.(k)) <- x.(rows.(k)) +. coefs.(k)
+    done;
+    lu_solve lu t.m x;
+    apply_etas lu x;
+    x
+
+let ftran_unit t r =
+  match t.repr with
+  | Dense_r d ->
+    let out = Array.make t.m 0.0 in
+    for i = 0 to t.m - 1 do
+      out.(i) <- d.inv.(i).(r)
+    done;
+    out
+  | Lu_r lu ->
+    let x = Array.make t.m 0.0 in
+    x.(r) <- 1.0;
+    lu_solve lu t.m x;
+    apply_etas lu x;
+    x
+
+let btran_dense t c =
+  match t.repr with
+  | Dense_r d ->
+    let y = Array.make t.m 0.0 in
+    for i = 0 to t.m - 1 do
+      let ci = c.(i) in
+      if ci <> 0.0 then begin
+        let bi = d.inv.(i) in
+        for k = 0 to t.m - 1 do
+          y.(k) <- y.(k) +. (ci *. bi.(k))
+        done
+      end
+    done;
+    y
+  | Lu_r lu ->
+    let y = Array.copy c in
+    apply_etas_t lu y;
+    lu_solve_t lu t.m y;
+    y
+
+let row_of_inverse t r =
+  match t.repr with
+  | Dense_r d -> Array.copy d.inv.(r)
+  | Lu_r lu ->
+    let y = Array.make t.m 0.0 in
+    y.(r) <- 1.0;
+    apply_etas_t lu y;
+    lu_solve_t lu t.m y;
+    y
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+let update t ~alpha ~row =
+  let m = t.m in
+  let piv = alpha.(row) in
+  let apiv = Float.abs piv in
+  let amax = ref 0.0 in
+  for i = 0 to m - 1 do
+    let a = Float.abs alpha.(i) in
+    if a > !amax then amax := a
+  done;
+  if apiv < pivot_abs_min || apiv < pivot_rel_min *. !amax then false
+  else if t.updates >= t.update_limit then false
+  else begin
+    (match t.repr with
+    | Dense_r d -> dense_update m d ~alpha ~row
+    | Lu_r lu ->
+      let nnz = ref 0 in
+      for i = 0 to m - 1 do
+        if i <> row && alpha.(i) <> 0.0 then incr nnz
+      done;
+      let rs = Array.make !nnz 0 and vs = Array.make !nnz 0.0 in
+      let p = ref 0 in
+      for i = 0 to m - 1 do
+        if i <> row && alpha.(i) <> 0.0 then begin
+          rs.(!p) <- i;
+          vs.(!p) <- alpha.(i);
+          incr p
+        end
+      done;
+      if lu.neta = Array.length lu.etas then begin
+        let cap = Stdlib.max 8 (2 * lu.neta) in
+        let bigger =
+          Array.make cap { er = 0; epiv = 1.0; erows = [||]; evals = [||] }
+        in
+        Array.blit lu.etas 0 bigger 0 lu.neta;
+        lu.etas <- bigger
+      end;
+      lu.etas.(lu.neta) <- { er = row; epiv = piv; erows = rs; evals = vs };
+      lu.neta <- lu.neta + 1;
+      lu.ennz <- lu.ennz + !nnz + 1);
+    t.updates <- t.updates + 1;
+    t.err <- t.err +. (1e-16 *. (!amax /. apiv));
+    true
+  end

@@ -1,0 +1,104 @@
+(** Factorized simplex basis: FTRAN/BTRAN and rank-one updates behind one
+    interface, with two interchangeable representations.
+
+    - {!Lu} (the production backend): a sparse LU factorization computed with
+      Markowitz pivoting at refactorization time, extended by product-form
+      eta updates after each simplex pivot.  FTRAN/BTRAN run through the
+      triangular factors and the eta file in O(nnz) instead of O(m²), and
+      refactorization rebuilds the factors in roughly O(nnz·fill) instead of
+      the O(m³) dense elimination.
+    - {!Dense} (the reference backend): the explicitly maintained dense
+      Gauss–Jordan basis inverse the solver shipped with.  It is kept as the
+      differential-testing oracle (see [test/test_differential.ml]) and for
+      benchmarking the factorized path against
+      ([bench/kernels.ml] eta-vs-dense rows).
+
+    Both representations answer the same queries, so {!Simplex} is written
+    against this module only and the backend is a solver option.
+
+    A factorization goes stale in two ways, and {!update} /
+    {!should_refactorize} encode the refactorization policy:
+    - the update chain grows past its budget (eta file length for {!Lu},
+      update count for {!Dense}), or the accumulated error estimate from
+      small pivots crosses a threshold — {!should_refactorize} turns true;
+    - a single proposed pivot element is too small to apply stably —
+      {!update} refuses (returns [false]) without touching the
+      factorization, and the caller must refactorize from the new basis
+      instead of dividing by a near-zero. *)
+
+type kind = Dense | Lu
+
+type t
+(** Mutable factorization state for one m×m basis.  Not thread-safe; copy
+    with {!copy} to share across solves (branch-and-bound snapshot
+    adoption). *)
+
+exception Singular
+(** Raised by {!refactorize} when the basis matrix is (numerically)
+    singular.  The factorization is left unchanged. *)
+
+val create : kind -> m:int -> t
+(** Fresh factorization of the m×m identity (the all-slack basis). *)
+
+val kind : t -> kind
+val dim : t -> int
+
+val set_identity : t -> unit
+(** Reset to the identity factorization (cold all-slack start). *)
+
+val refactorize :
+  t -> basis:int array -> col:(int -> (int -> float -> unit) -> unit) -> unit
+(** [refactorize t ~basis ~col] rebuilds the factorization from scratch for
+    the matrix whose [i]-th column is column [basis.(i)] of the constraint
+    matrix; [col j f] must call [f row coef] for every nonzero of column
+    [j].  Clears the eta file / update counter.  Raises {!Singular} (state
+    unchanged) when elimination cannot complete. *)
+
+val ftran_col : t -> int array -> float array -> float array
+(** [ftran_col t rows coefs] returns B⁻¹a for the sparse column a given by
+    parallel [rows]/[coefs] arrays (the simplex entering column). *)
+
+val ftran_unit : t -> int -> float array
+(** [ftran_unit t r] is {!ftran_col} on the unit column e_r (slack
+    columns). *)
+
+val ftran_dense : t -> float array -> float array
+(** [ftran_dense t b] returns B⁻¹b for a dense right-hand side [b] indexed
+    by constraint row; the result is indexed by basis position (used to
+    recompute the basic-variable values). *)
+
+val btran_dense : t -> float array -> float array
+(** [btran_dense t c] returns B⁻ᵀc: the simplex multipliers y solving
+    yᵀB = cᵀ for a cost vector [c] indexed by basis position.  The result
+    is indexed by constraint row. *)
+
+val row_of_inverse : t -> int -> float array
+(** [row_of_inverse t r] is row [r] of B⁻¹ (equivalently B⁻ᵀe_r): the
+    vector behind the dual-simplex pivot row and the incremental dual
+    update. *)
+
+val update : t -> alpha:float array -> row:int -> bool
+(** [update t ~alpha ~row] records the basis change that replaces the
+    column in basis position [row], where [alpha] = B⁻¹a_q is the FTRAN of
+    the entering column (so [alpha.(row)] is the pivot element).  Returns
+    [false] — leaving the factorization unchanged — when the pivot element
+    is too small in absolute or relative terms to apply stably; the caller
+    must then {!refactorize} from the updated basis.  For {!Lu} a
+    successful update appends one eta to the product-form file; for
+    {!Dense} it performs the Gauss–Jordan rank-one update of the inverse. *)
+
+val should_refactorize : t -> bool
+(** The update chain has exhausted its budget (eta-file length, dense
+    update count) or the accumulated pivot-error estimate crossed its
+    threshold: the caller should refactorize at the next safe point. *)
+
+val updates_since_refactor : t -> int
+
+val eta_nnz : t -> int
+(** Total nonzeros in the eta file (0 for {!Dense}): the memory and
+    per-solve cost of the update chain, exposed for stats and tests. *)
+
+val refactor_count : t -> int
+
+val copy : t -> t
+(** Deep copy; the copy can be mutated independently. *)

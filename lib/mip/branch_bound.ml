@@ -10,6 +10,8 @@ type options = {
   initial : float array option;
   warm_start : bool;
   lp_partial_pricing : bool;
+  lp_backend : Basis.kind;
+  dual_restart : bool;
 }
 
 let default_options =
@@ -23,6 +25,8 @@ let default_options =
     initial = None;
     warm_start = true;
     lp_partial_pricing = true;
+    lp_backend = Basis.Lu;
+    dual_restart = true;
   }
 
 type outcome = {
@@ -34,6 +38,8 @@ type outcome = {
   nodes : int;
   lp_iterations : int;
   warm_started_nodes : int;
+  dual_restarted_nodes : int;
+  dual_pivots : int;
   elapsed : float;
 }
 
@@ -163,16 +169,18 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let elapsed () = Unix.gettimeofday () -. start in
   let incumbent = ref None and incumbent_obj = ref infinity in
   let nodes = ref 0 and lp_iters = ref 0 and warm_nodes = ref 0 in
+  let dual_nodes = ref 0 and dual_pivots = ref 0 in
   let inexact = ref false in
   (* an LP node hit its iteration limit: optimality can no longer be proven *)
   let dummy_node = { nlb = [||]; nub = [||]; depth = 0; wb = None } in
   let open_nodes = Heap.create (0.0, dummy_node) in
-  (* One-entry basis-inverse cache keyed by physical equality on the
+  (* One-entry basis-factorization cache keyed by physical equality on the
      stripped snapshot stored in the nodes: the plunged child is processed
-     immediately after its parent, so it reuses the parent's inverse for
-     free; nodes popped from the heap later re-factorize from their stored
-     basis columns instead (still far cheaper than a cold phase-1 start). *)
-  let binv_cache : (Simplex.warm_basis * float array array) option ref = ref None in
+     immediately after its parent, so it reuses the parent's LU factors (and
+     eta file) for free; nodes popped from the heap later re-factorize from
+     their stored basis columns instead (still far cheaper than a cold
+     phase-1 start). *)
+  let fac_cache : (Simplex.warm_basis * Basis.t) option ref = ref None in
   let root_lb = Array.copy std.lb and root_ub = Array.copy std.ub in
   tighten_integer_bounds std root_lb root_ub;
   let update_incumbent x obj =
@@ -202,20 +210,25 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
           match node.wb with
           | None -> None
           | Some wb -> (
-            match !binv_cache with
-            | Some (key, binv) when key == wb -> Some { wb with Simplex.wbinv = Some binv }
+            match !fac_cache with
+            | Some (key, fac) when key == wb -> Some { wb with Simplex.wfac = Some fac }
             | _ -> Some wb)
       in
       (match basis with Some _ -> incr warm_nodes | None -> ());
       match
-        Simplex.solve ~partial_pricing:options.lp_partial_pricing ?basis ~lb:node.nlb
-          ~ub:node.nub std
+        Simplex.solve ~partial_pricing:options.lp_partial_pricing
+          ~backend:options.lp_backend ~dual_simplex:options.dual_restart ?basis
+          ~lb:node.nlb ~ub:node.nub std
       with
       | Simplex.Infeasible _ -> ()
       | Simplex.Unbounded -> unbounded := true
       | Simplex.Iteration_limit _ -> inexact := true
-      | Simplex.Optimal { x; obj; iterations; basis = final_basis; _ } ->
+      | Simplex.Optimal { x; obj; iterations; dual_iterations; basis = final_basis; _ } ->
         lp_iters := !lp_iters + iterations;
+        if dual_iterations > 0 then begin
+          incr dual_nodes;
+          dual_pivots := !dual_pivots + dual_iterations
+        end;
         if obj < !incumbent_obj -. options.gap_abs then begin
           if integral std ~int_tol:options.int_tol x then begin
             (* round off the tiny fractional noise before storing *)
@@ -235,10 +248,10 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
             | None -> ()
             | Some j ->
               (* both children share one stripped snapshot of this node's
-                 optimal basis; the full inverse lives only in the cache *)
-              let stripped = { final_basis with Simplex.wbinv = None } in
-              (match final_basis.Simplex.wbinv with
-              | Some binv -> binv_cache := Some (stripped, binv)
+                 optimal basis; the factorization lives only in the cache *)
+              let stripped = { final_basis with Simplex.wfac = None } in
+              (match final_basis.Simplex.wfac with
+              | Some fac -> fac_cache := Some (stripped, fac)
               | None -> ());
               let wb = if options.warm_start then Some stripped else None in
               let v = x.(j) in
@@ -324,6 +337,8 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
     nodes = !nodes;
     lp_iterations = !lp_iters;
     warm_started_nodes = !warm_nodes;
+    dual_restarted_nodes = !dual_nodes;
+    dual_pivots = !dual_pivots;
     elapsed = elapsed ();
   }
 
@@ -342,6 +357,8 @@ let solve ?(options = default_options) (std : Model.std) =
       nodes = 0;
       lp_iterations = 0;
       warm_started_nodes = 0;
+      dual_restarted_nodes = 0;
+      dual_pivots = 0;
       elapsed = 0.0;
     }
   | Presolve.Reduced { std = reduced; fixed; _ } ->

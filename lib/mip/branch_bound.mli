@@ -8,11 +8,12 @@
     the gap (paper §4.1.2, Fig. 9), so the gap is a first-class output.
 
     Every non-root node's LP is warm-started from its parent's optimal
-    basis (see {!Simplex.warm_basis}): a child that tightens one variable
-    bound typically re-optimizes in a handful of pivots instead of a full
-    cold two-phase solve.  Nodes store basis snapshots without the inverse;
-    a one-entry cache keeps the most recent parent's inverse so plunged
-    children restart for free, while heap revisits re-factorize. *)
+    basis (see {!Simplex.warm_basis}): because a bound tightening leaves the
+    parent-optimal basis dual feasible, the child typically re-optimizes in
+    a handful of dual-simplex pivots instead of a full cold two-phase solve.
+    Nodes store basis snapshots without the factorization; a one-entry cache
+    keeps the most recent parent's factors so plunged children restart for
+    free, while heap revisits re-factorize. *)
 
 type status =
   | Optimal  (** proven optimal within tolerances *)
@@ -36,12 +37,20 @@ type options = {
           the cold-start behaviour (equivalence testing, benchmarking) *)
   lp_partial_pricing : bool;
       (** forwarded to {!Simplex.solve}'s [partial_pricing] *)
+  lp_backend : Basis.kind;
+      (** basis representation for every node LP ({!Basis.Lu} by default;
+          {!Basis.Dense} is the differential-testing oracle) *)
+  dual_restart : bool;
+      (** re-optimize warm-started children with the dual simplex phase;
+          disable to get PR-1's primal-restart behaviour (benchmarking,
+          differential testing) *)
 }
 
 val default_options : options
 (** [time_limit = infinity], [node_limit = 100_000], [gap_abs = 1e-6],
     [gap_rel = 1e-9], [int_tol = 1e-6], [heuristic_period = 20], no initial
-    solution, [warm_start = true], [lp_partial_pricing = true]. *)
+    solution, [warm_start = true], [lp_partial_pricing = true],
+    [lp_backend = Basis.Lu], [dual_restart = true]. *)
 
 type outcome = {
   status : status;
@@ -53,6 +62,9 @@ type outcome = {
   lp_iterations : int;
   warm_started_nodes : int;
       (** nodes whose LP restarted from a parent basis rather than cold *)
+  dual_restarted_nodes : int;
+      (** warm-started nodes whose LP re-optimized via dual-simplex pivots *)
+  dual_pivots : int;  (** total dual-simplex pivots across all node LPs *)
   elapsed : float;  (** seconds *)
 }
 

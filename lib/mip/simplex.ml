@@ -4,14 +4,14 @@
 type col_status = Basic | At_lower | At_upper | Nb_free
 
 (* A restartable basis snapshot: which column is basic in each row plus the
-   bound every nonbasic column rests on.  [wbinv] optionally carries the
-   matching basis inverse so a restart can skip the O(m^3) refactorization;
+   bound every nonbasic column rests on.  [wfac] optionally carries the
+   matching basis factorization so a restart can skip refactorization;
    holders that keep many snapshots alive (the branch-and-bound node queue)
    drop it to stay O(ntotal) per snapshot. *)
 type warm_basis = {
   wcols : int array;  (* wcols.(i) = column basic in row i *)
   wstatus : col_status array;  (* one entry per column incl. slacks *)
-  wbinv : float array array option;  (* basis inverse matching wcols *)
+  wfac : Basis.t option;  (* basis factorization matching wcols *)
 }
 
 type result =
@@ -19,6 +19,7 @@ type result =
       x : float array;
       obj : float;
       iterations : int;
+      dual_iterations : int;
       duals : float array;
       basis : warm_basis;
     }
@@ -36,14 +37,15 @@ type state = {
   status : col_status array;
   xval : float array;
   basis : int array;  (* basis.(i) = column basic in row i *)
-  mutable binv : float array array;  (* dense basis inverse, m x m *)
+  mutable fac : Basis.t;  (* factorized basis (LU+eta or dense inverse) *)
   feas_tol : float;
   dual_tol : float;
   pivot_tol : float;
   mutable bland : bool;  (* anti-cycling mode *)
   mutable degenerate_run : int;
   mutable iterations : int;
-  (* cached simplex multipliers y = c_B^T B^-1: recomputed from scratch in
+  mutable dual_pivots : int;
+  (* cached simplex multipliers y = c_B^T B^-1: recomputed by BTRAN in
      phase 1 (the phase-1 cost vector moves with the iterate) and after
      refactorization, updated incrementally after phase-2 pivots *)
   mutable dual : float array;
@@ -53,7 +55,6 @@ type state = {
   partial : bool;
   price_window : int;
   mutable price_cursor : int;
-  nzbuf : int array;  (* scratch: nonzero pattern of the pivot row *)
 }
 
 (* -------------------------------------------------------------------- *)
@@ -69,74 +70,19 @@ let col_iter st j f =
   end
   else f (j - st.std.nvars) 1.0
 
-(* alpha = B^-1 * A_j.  Row-major order: each alpha entry is a dot product
-   of one [binv] row with the sparse column, so the inner loop stays inside
-   a single row. *)
+(* alpha = B^-1 * A_j through the factorization. *)
 let ftran st j =
-  let alpha = Array.make st.m 0.0 in
-  if j < st.std.nvars then begin
-    let rows = st.std.col_rows.(j) and coefs = st.std.col_coefs.(j) in
-    let ne = Array.length rows in
-    for i = 0 to st.m - 1 do
-      let bi = st.binv.(i) in
-      let acc = ref 0.0 in
-      for k = 0 to ne - 1 do
-        acc := !acc +. (bi.(rows.(k)) *. coefs.(k))
-      done;
-      alpha.(i) <- !acc
-    done
-  end
-  else begin
-    let r = j - st.std.nvars in
-    for i = 0 to st.m - 1 do
-      alpha.(i) <- st.binv.(i).(r)
-    done
-  end;
-  alpha
+  if j < st.std.nvars then Basis.ftran_col st.fac st.std.col_rows.(j) st.std.col_coefs.(j)
+  else Basis.ftran_unit st.fac (j - st.std.nvars)
 
 (* -------------------------------------------------------------------- *)
 (* Basis maintenance                                                     *)
 
-exception Singular_basis
-
-(* Rebuild the basis inverse from scratch by Gauss-Jordan elimination with
-   partial pivoting, then recompute basic values exactly.  Bounds numerical
-   drift from the product-form updates. *)
+(* Rebuild the factorization from scratch for the current basis columns.
+   Bounds numerical drift from the update chain.  Raises Basis.Singular
+   (leaving the factors unchanged) when elimination breaks down. *)
 let refactor st =
-  let m = st.m in
-  let b = Array.make_matrix m m 0.0 in
-  for i = 0 to m - 1 do
-    col_iter st st.basis.(i) (fun r c -> b.(r).(i) <- c)
-  done;
-  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
-  for col = 0 to m - 1 do
-    (* partial pivot *)
-    let best = ref col in
-    for r = col + 1 to m - 1 do
-      if Float.abs b.(r).(col) > Float.abs b.(!best).(col) then best := r
-    done;
-    if Float.abs b.(!best).(col) < 1e-12 then raise Singular_basis;
-    if !best <> col then begin
-      let tmp = b.(col) in b.(col) <- b.(!best); b.(!best) <- tmp;
-      let tmp = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- tmp
-    end;
-    let piv = b.(col).(col) in
-    for k = 0 to m - 1 do
-      b.(col).(k) <- b.(col).(k) /. piv;
-      inv.(col).(k) <- inv.(col).(k) /. piv
-    done;
-    for r = 0 to m - 1 do
-      if r <> col then begin
-        let f = b.(r).(col) in
-        if f <> 0.0 then
-          for k = 0 to m - 1 do
-            b.(r).(k) <- b.(r).(k) -. (f *. b.(col).(k));
-            inv.(r).(k) <- inv.(r).(k) -. (f *. inv.(col).(k))
-          done
-      end
-    done
-  done;
-  st.binv <- inv;
+  Basis.refactorize st.fac ~basis:st.basis ~col:(col_iter st);
   st.dual_valid <- false
 
 let recompute_basics st =
@@ -148,13 +94,9 @@ let recompute_basics st =
       col_iter st j (fun row c -> r.(row) <- r.(row) -. (c *. v))
     end
   done;
+  let vals = Basis.ftran_dense st.fac r in
   for i = 0 to st.m - 1 do
-    let acc = ref 0.0 in
-    let brow = st.binv.(i) in
-    for k = 0 to st.m - 1 do
-      acc := !acc +. (brow.(k) *. r.(k))
-    done;
-    st.xval.(st.basis.(i)) <- !acc
+    st.xval.(st.basis.(i)) <- vals.(i)
   done
 
 (* -------------------------------------------------------------------- *)
@@ -187,22 +129,16 @@ let phase1_cost st i =
   else 0.0
 
 let dual_values st ~phase1 =
-  let y = Array.make st.m 0.0 in
+  let cb = Array.make st.m 0.0 in
   for i = 0 to st.m - 1 do
-    let cb = if phase1 then phase1_cost st i else st.obj.(st.basis.(i)) in
-    if cb <> 0.0 then begin
-      let brow = st.binv.(i) in
-      for k = 0 to st.m - 1 do
-        y.(k) <- y.(k) +. (cb *. brow.(k))
-      done
-    end
+    cb.(i) <- (if phase1 then phase1_cost st i else st.obj.(st.basis.(i)))
   done;
-  y
+  Basis.btran_dense st.fac cb
 
 (* The BTRAN that used to run every iteration is hoisted into a cached dual
-   vector: phase-2 pivots update it in O(m) (see [update_duals_after_pivot]);
-   only phase 1 — whose cost vector depends on the iterate — and freshly
-   refactorized bases pay the full O(m^2) recomputation. *)
+   vector: phase-2 pivots update it in one sparse unit-BTRAN (see
+   [update_duals_after_pivot]); only phase 1 — whose cost vector depends on
+   the iterate — and freshly refactorized bases pay the full recompute. *)
 let ensure_duals st ~phase1 =
   if (not st.dual_valid) || st.dual_phase1 <> phase1 then begin
     st.dual <- dual_values st ~phase1;
@@ -211,12 +147,13 @@ let ensure_duals st ~phase1 =
   end
 
 (* After the pivot in row [row] with entering reduced cost [d]:
-   y' = y + (d / alpha_row) * (old B^-1 row) = y + d * (new B^-1 row),
-   because the pivot has already scaled that row by 1/alpha_row.  Valid only
-   in phase 2, where the basic cost vector changes by the pivot alone. *)
+   y' = y + d * (new B^-1 row), the product-form identity
+   y' = y + (d / alpha_row) * (old B^-1 row).  Valid only in phase 2, where
+   the basic cost vector changes by the pivot alone.  Must run after the
+   factorization has absorbed the pivot. *)
 let update_duals_after_pivot st ~row ~d =
   if d <> 0.0 then begin
-    let brow = st.binv.(row) in
+    let brow = Basis.row_of_inverse st.fac row in
     let y = st.dual in
     for k = 0 to st.m - 1 do
       y.(k) <- y.(k) +. (d *. brow.(k))
@@ -385,69 +322,7 @@ let ratio_test st alpha ~dir ~phase1 j =
   else No_block
 
 (* -------------------------------------------------------------------- *)
-(* Pivot application                                                     *)
-
-let apply_move st alpha ~dir ~step j =
-  if step <> 0.0 then begin
-    st.xval.(j) <- st.xval.(j) +. (dir *. step);
-    for i = 0 to st.m - 1 do
-      let a = alpha.(i) in
-      if a <> 0.0 then begin
-        let b = st.basis.(i) in
-        st.xval.(b) <- st.xval.(b) -. (a *. dir *. step)
-      end
-    done
-  end
-
-let pivot st alpha ~row j ~bound =
-  let leaving = st.basis.(row) in
-  st.status.(leaving) <- bound;
-  (* pin the leaving variable exactly on its bound to avoid drift *)
-  (st.xval.(leaving) <-
-     match bound with
-     | At_lower -> st.lb.(leaving)
-     | At_upper -> st.ub.(leaving)
-     | Basic | Nb_free -> st.xval.(leaving));
-  st.basis.(row) <- j;
-  st.status.(j) <- Basic;
-  let piv = alpha.(row) in
-  let brow = st.binv.(row) in
-  (* scale the pivot row, recording its nonzero pattern; early in a solve —
-     and for every warm-started child re-solve — the basis inverse is still
-     close to a permuted identity, so routine pivots touch a few columns
-     instead of the full dense row *)
-  let nz = st.nzbuf in
-  let nnz = ref 0 in
-  for k = 0 to st.m - 1 do
-    let v = brow.(k) in
-    if v <> 0.0 then begin
-      brow.(k) <- v /. piv;
-      nz.(!nnz) <- k;
-      incr nnz
-    end
-  done;
-  let nnz = !nnz in
-  let sparse_row = 2 * nnz < st.m in
-  for i = 0 to st.m - 1 do
-    if i <> row then begin
-      let f = alpha.(i) in
-      if f <> 0.0 then begin
-        let bi = st.binv.(i) in
-        if sparse_row then
-          for t = 0 to nnz - 1 do
-            let k = nz.(t) in
-            bi.(k) <- bi.(k) -. (f *. brow.(k))
-          done
-        else
-          for k = 0 to st.m - 1 do
-            bi.(k) <- bi.(k) -. (f *. brow.(k))
-          done
-      end
-    end
-  done
-
-(* -------------------------------------------------------------------- *)
-(* Setup                                                                 *)
+(* Setup (forward-declared pieces used by pivot application)             *)
 
 (* Nonbasic resting point for column [j] given a preferred bound: fall back
    to whichever bound is finite (closest to zero, like a cold start) when
@@ -467,7 +342,7 @@ let set_nonbasic st j preferred =
     else free ()
 
 (* All-slack starting basis: every structural column nonbasic at its best
-   bound, identity basis inverse. *)
+   bound, identity basis factorization. *)
 let set_cold st =
   for j = 0 to st.std.nvars - 1 do
     set_nonbasic st j At_lower
@@ -476,14 +351,57 @@ let set_cold st =
     st.basis.(i) <- st.std.nvars + i;
     st.status.(st.std.nvars + i) <- Basic
   done;
-  st.binv <- Array.init st.m (fun i -> Array.init st.m (fun k -> if i = k then 1.0 else 0.0));
+  Basis.set_identity st.fac;
   st.dual_valid <- false;
   recompute_basics st
 
+(* -------------------------------------------------------------------- *)
+(* Pivot application                                                     *)
+
+let apply_move st alpha ~dir ~step j =
+  if step <> 0.0 then begin
+    st.xval.(j) <- st.xval.(j) +. (dir *. step);
+    for i = 0 to st.m - 1 do
+      let a = alpha.(i) in
+      if a <> 0.0 then begin
+        let b = st.basis.(i) in
+        st.xval.(b) <- st.xval.(b) -. (a *. dir *. step)
+      end
+    done
+  end
+
+(* Absorb the basis change into the factorization.  When the update is
+   refused (pivot too small, update budget exhausted) refactorize from the
+   already-updated basis columns; if even that fails the basis is
+   numerically hopeless and the solve restarts cold — correctness over
+   speed on a path that never fires in practice. *)
+let absorb_pivot st alpha ~row =
+  if not (Basis.update st.fac ~alpha ~row) then begin
+    match refactor st with
+    | () -> recompute_basics st
+    | exception Basis.Singular -> set_cold st
+  end
+
+let pivot st alpha ~row j ~bound =
+  let leaving = st.basis.(row) in
+  st.status.(leaving) <- bound;
+  (* pin the leaving variable exactly on its bound to avoid drift *)
+  (st.xval.(leaving) <-
+     match bound with
+     | At_lower -> st.lb.(leaving)
+     | At_upper -> st.ub.(leaving)
+     | Basic | Nb_free -> st.xval.(leaving));
+  st.basis.(row) <- j;
+  st.status.(j) <- Basic;
+  absorb_pivot st alpha ~row
+
+(* -------------------------------------------------------------------- *)
+(* Warm starts                                                           *)
+
 (* Restart from a caller-supplied basis: validate, install statuses and
    nonbasic resting points (normalized against the possibly-tightened
-   bounds), then either adopt the supplied inverse or refactorize.  Returns
-   false — leaving the caller to fall back to a cold start — on any
+   bounds), then either adopt the supplied factorization or refactorize.
+   Returns false — leaving the caller to fall back to a cold start — on any
    structural mismatch or a singular basis. *)
 let try_warm st (wb : warm_basis) =
   if Array.length wb.wcols <> st.m || Array.length wb.wstatus <> st.ntotal then false
@@ -494,33 +412,31 @@ let try_warm st (wb : warm_basis) =
       (fun c ->
         if c < 0 || c >= st.ntotal || in_basis.(c) then ok := false else in_basis.(c) <- true)
       wb.wcols;
-    let binv_ok =
-      match wb.wbinv with
-      | None -> true
-      | Some b -> Array.length b = st.m && (st.m = 0 || Array.length b.(0) = st.m)
-    in
-    if (not !ok) || not binv_ok then false
+    if not !ok then false
     else begin
       Array.blit wb.wcols 0 st.basis 0 st.m;
       for j = 0 to st.ntotal - 1 do
         if in_basis.(j) then st.status.(j) <- Basic
         else set_nonbasic st j wb.wstatus.(j)
       done;
-      match
-        (match wb.wbinv with
-        | Some b -> st.binv <- Array.map Array.copy b
-        | None -> refactor st)
-      with
+      let adopted =
+        match wb.wfac with
+        | Some f when Basis.kind f = Basis.kind st.fac && Basis.dim f = st.m ->
+          st.fac <- Basis.copy f;
+          true
+        | Some _ | None -> false
+      in
+      match if adopted then () else refactor st with
       | () ->
         st.dual_valid <- false;
         recompute_basics st;
         true
-      | exception Singular_basis -> false
+      | exception Basis.Singular -> false
     end
   end
 
 let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_override ?basis
-    ~partial (std : Model.std) =
+    ~partial ~backend (std : Model.std) =
   let m = std.nrows in
   let nvars = std.nvars in
   let ntotal = nvars + m in
@@ -557,20 +473,20 @@ let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_overrid
       status = Array.make ntotal At_lower;
       xval = Array.make ntotal 0.0;
       basis = Array.init m (fun i -> nvars + i);
-      binv = [||];
+      fac = Basis.create backend ~m;
       feas_tol;
       dual_tol;
       pivot_tol = 1e-9;
       bland = false;
       degenerate_run = 0;
       iterations = 0;
+      dual_pivots = 0;
       dual = Array.make m 0.0;
       dual_valid = false;
       dual_phase1 = false;
       partial;
       price_window = Stdlib.max 256 (ntotal / 4);
       price_cursor = 0;
-      nzbuf = Array.make m 0;
     }
   in
   let warmed = match basis with Some wb -> try_warm st wb | None -> false in
@@ -586,7 +502,164 @@ let objective_value st =
 
 let extract st = Array.sub st.xval 0 st.std.nvars
 
-let final_basis st = { wcols = st.basis; wstatus = st.status; wbinv = Some st.binv }
+let final_basis st = { wcols = st.basis; wstatus = st.status; wfac = Some st.fac }
+
+(* -------------------------------------------------------------------- *)
+(* Dual simplex                                                          *)
+
+(* A warm-started basis whose bounds were tightened (the branch-and-bound
+   child pattern) is primal infeasible but still dual feasible: the
+   reduced costs did not move.  This check gates the dual phase; a basis
+   that fails it (e.g. a stale snapshot under a different objective) falls
+   through to the ordinary primal phase 1. *)
+let dual_feasible_now st =
+  ensure_duals st ~phase1:false;
+  let y = st.dual in
+  let tol = 10.0 *. st.dual_tol in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < st.ntotal do
+    let jj = !j in
+    (if st.status.(jj) <> Basic && st.ub.(jj) -. st.lb.(jj) > 0.0 then
+       let d = reduced_cost st y ~phase1:false jj in
+       match st.status.(jj) with
+       | At_lower -> if d < -.tol then ok := false
+       | At_upper -> if d > tol then ok := false
+       | Nb_free -> if Float.abs d > tol then ok := false
+       | Basic -> ());
+    incr j
+  done;
+  !ok
+
+(* Dual simplex re-optimization: drive out primal infeasibilities while the
+   reduced costs stay dual feasible.  Each iteration picks the most
+   violated basic variable as the leaving row, prices the pivot row
+   (rho = e_r^T B^-1 via BTRAN, then one pass over the nonbasic columns for
+   both the row entries and the reduced costs), runs the dual ratio test
+   (min |d_j|/|alpha_rj| over sign-eligible columns, larger pivot on ties),
+   and pivots.  On any numerical doubt — no eligible column, a pivot-row /
+   FTRAN disagreement, a long degenerate stall — it simply stops: the
+   primal loop behind it is fully general and finishes the solve, so the
+   dual phase is purely an accelerator. *)
+let dual_phase st ~max_iters =
+  let m = st.m in
+  let budget = ref (200 + (2 * m)) in
+  let stalled = ref 0 in
+  let running = ref true in
+  while !running && st.iterations < max_iters && !budget > 0 do
+    decr budget;
+    if Basis.should_refactorize st.fac then begin
+      match refactor st with
+      | () -> recompute_basics st
+      | exception Basis.Singular -> running := false
+    end;
+    if !running then begin
+      (* leaving row: largest bound violation *)
+      let r = ref (-1) and worst = ref 0.0 in
+      for i = 0 to m - 1 do
+        let v = infeasibility_of st st.basis.(i) in
+        if v > !worst then begin
+          worst := v;
+          r := i
+        end
+      done;
+      if !r < 0 then running := false (* primal feasible: the dual phase is done *)
+      else begin
+        let r = !r in
+        let b = st.basis.(r) in
+        let xb = st.xval.(b) in
+        let v, bound =
+          if xb < st.lb.(b) -. st.feas_tol then (xb -. st.lb.(b), At_lower)
+          else (xb -. st.ub.(b), At_upper)
+        in
+        ensure_duals st ~phase1:false;
+        let y = st.dual in
+        let rho = Basis.row_of_inverse st.fac r in
+        let best_j = ref (-1) and best_ratio = ref infinity in
+        let best_mag = ref 0.0 and best_d = ref 0.0 in
+        for j = 0 to st.ntotal - 1 do
+          if st.status.(j) <> Basic && st.ub.(j) -. st.lb.(j) > 0.0 then begin
+            (* one column pass for both the reduced cost and the row entry *)
+            let d = ref st.obj.(j) and arj = ref 0.0 in
+            col_iter st j (fun row c ->
+                d := !d -. (y.(row) *. c);
+                arj := !arj +. (rho.(row) *. c));
+            let a = !arj in
+            if Float.abs a > st.pivot_tol then begin
+              let eligible =
+                match st.status.(j) with
+                | At_lower -> v *. a > 0.0 (* entering may only increase *)
+                | At_upper -> v *. a < 0.0 (* entering may only decrease *)
+                | Nb_free -> true
+                | Basic -> false
+              in
+              if eligible then begin
+                let ratio = Float.abs !d /. Float.abs a in
+                let better =
+                  if ratio < !best_ratio -. 1e-10 then true
+                  else if ratio <= !best_ratio +. 1e-10 then Float.abs a > !best_mag
+                  else false
+                in
+                if better then begin
+                  best_j := j;
+                  best_ratio := ratio;
+                  best_mag := Float.abs a;
+                  best_d := !d
+                end
+              end
+            end
+          end
+        done;
+        if !best_j < 0 then running := false
+          (* dual ray (primal infeasible) or numerics: let the primal
+             phase 1 deliver the verdict *)
+        else begin
+          let q = !best_j in
+          let alpha = ftran st q in
+          let arq = alpha.(r) in
+          if Float.abs arq < st.pivot_tol then begin
+            (* the priced row entry and the FTRAN'd column disagree:
+               refresh the factorization, then give the primal path the
+               problem if it keeps happening *)
+            (try refactor st with Basis.Singular -> ());
+            recompute_basics st;
+            incr stalled;
+            if !stalled > 3 then running := false
+          end
+          else begin
+            let step = v /. arq in
+            st.xval.(q) <- st.xval.(q) +. step;
+            for i = 0 to m - 1 do
+              let a = alpha.(i) in
+              if a <> 0.0 then begin
+                let bi = st.basis.(i) in
+                st.xval.(bi) <- st.xval.(bi) -. (a *. step)
+              end
+            done;
+            (* the leaving variable lands exactly on its violated bound *)
+            st.status.(b) <- bound;
+            (st.xval.(b) <-
+               match bound with At_lower -> st.lb.(b) | _ -> st.ub.(b));
+            st.basis.(r) <- q;
+            st.status.(q) <- Basic;
+            absorb_pivot st alpha ~row:r;
+            st.iterations <- st.iterations + 1;
+            st.dual_pivots <- st.dual_pivots + 1;
+            if st.dual_valid then update_duals_after_pivot st ~row:r ~d:!best_d;
+            if !best_ratio <= st.dual_tol then begin
+              (* dual-degenerate pivot: no dual objective progress *)
+              incr stalled;
+              if !stalled > 100 then running := false
+            end
+            else stalled := 0
+          end
+        end
+      end
+    end
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Driver                                                                *)
 
 (* Trivial case: no constraints means each variable sits at whichever bound
    minimizes its objective coefficient. *)
@@ -614,13 +687,14 @@ let solve_unconstrained std lb ub =
         x;
         obj = !obj;
         iterations = 0;
+        dual_iterations = 0;
         duals = [||];
-        basis = { wcols = [||]; wstatus = [||]; wbinv = None };
+        basis = { wcols = [||]; wstatus = [||]; wfac = None };
       }
   end
 
-let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = true) ?basis ?lb
-    ?ub (std : Model.std) =
+let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = true)
+    ?(backend = Basis.Lu) ?(dual_simplex = true) ?basis ?lb ?ub (std : Model.std) =
   (* A variable fixed-range check also covers per-node bound conflicts. *)
   let lbs = match lb with Some a -> a | None -> std.lb in
   let ubs = match ub with Some a -> a | None -> std.ub in
@@ -631,24 +705,30 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
   if !conflict then Infeasible { infeasibility = 1 }
   else if std.nrows = 0 then solve_unconstrained std lbs ubs
   else begin
-    let st, _warmed =
+    let st, warmed =
       initial_state ~feas_tol ~dual_tol ?lb_override:lb ?ub_override:ub ?basis
-        ~partial:partial_pricing std
+        ~partial:partial_pricing ~backend std
     in
     let max_iters =
       match max_iters with
       | Some n -> n
       | None -> 20000 + (60 * (st.m + st.ntotal))
     in
-    let refactor_every = 300 in
-    let since_refactor = ref 0 in
+    (* Dual re-optimization: a warm basis whose bounds were tightened is
+       typically primal infeasible but still dual feasible, and a handful
+       of dual pivots restores optimality — the branch-and-bound child
+       restart pattern.  Cold starts and dual-infeasible bases skip
+       straight to the primal phases. *)
+    if warmed && dual_simplex then begin
+      let _, infeas0 = total_infeasibility st in
+      if infeas0 > 0 && dual_feasible_now st then dual_phase st ~max_iters
+    end;
     let result = ref None in
     while !result = None && st.iterations < max_iters do
       st.iterations <- st.iterations + 1;
-      if !since_refactor >= refactor_every then begin
-        (try refactor st with Singular_basis -> ());
-        recompute_basics st;
-        since_refactor := 0
+      if Basis.should_refactorize st.fac then begin
+        (try refactor st with Basis.Singular -> ());
+        recompute_basics st
       end;
       let _, infeas_count = total_infeasibility st in
       let phase1 = infeas_count > 0 in
@@ -657,33 +737,42 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
       | None ->
         if phase1 then begin
           (* Confirm infeasibility on a freshly factorized basis. *)
-          if !since_refactor > 0 then begin
-            (try refactor st with Singular_basis -> ());
-            recompute_basics st;
-            since_refactor := 0;
-            let _, recount = total_infeasibility st in
-            if recount > 0 then result := Some (Infeasible { infeasibility = recount })
+          if Basis.updates_since_refactor st.fac > 0 then begin
+            match refactor st with
+            | () ->
+              recompute_basics st;
+              let _, recount = total_infeasibility st in
+              if recount > 0 then result := Some (Infeasible { infeasibility = recount })
+            | exception Basis.Singular ->
+              result := Some (Infeasible { infeasibility = infeas_count })
           end
           else result := Some (Infeasible { infeasibility = infeas_count })
         end
-        else if !since_refactor > 0 then begin
-          (* Confirm optimality on a fresh factorization. *)
-          (try refactor st with Singular_basis -> ());
-          recompute_basics st;
-          since_refactor := 0
-        end
         else begin
-          let duals = dual_values st ~phase1:false in
-          result :=
-            Some
-              (Optimal
-                 {
-                   x = extract st;
-                   obj = objective_value st;
-                   iterations = st.iterations;
-                   duals;
-                   basis = final_basis st;
-                 })
+          (* Confirm optimality on a fresh factorization. *)
+          let confirmed =
+            if Basis.updates_since_refactor st.fac = 0 then true
+            else
+              match refactor st with
+              | () ->
+                recompute_basics st;
+                false (* re-price on the fresh factors *)
+              | exception Basis.Singular -> true
+          in
+          if confirmed then begin
+            let duals = dual_values st ~phase1:false in
+            result :=
+              Some
+                (Optimal
+                   {
+                     x = extract st;
+                     obj = objective_value st;
+                     iterations = st.iterations;
+                     dual_iterations = st.dual_pivots;
+                     duals;
+                     basis = final_basis st;
+                   })
+          end
         end
       | Some (j, dir, d) -> begin
         let alpha = ftran st j in
@@ -692,11 +781,10 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
           if phase1 then begin
             (* Numerically suspect: refactor and retry; a persistent miss is
                reported as infeasible rather than looping forever. *)
-            (try refactor st with Singular_basis -> ());
+            let fresh = Basis.updates_since_refactor st.fac = 0 in
+            (try refactor st with Basis.Singular -> ());
             recompute_basics st;
-            if !since_refactor = 0 then
-              result := Some (Infeasible { infeasibility = infeas_count });
-            since_refactor := 0
+            if fresh then result := Some (Infeasible { infeasibility = infeas_count })
           end
           else result := Some Unbounded
         | Entering_flip step ->
@@ -708,8 +796,7 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
              | s -> s);
           (* a bound flip keeps the basis and, in phase 2, the duals; the
              phase-1 cost vector may shift with the moved basic values *)
-          if phase1 then st.dual_valid <- false;
-          incr since_refactor
+          if phase1 then st.dual_valid <- false
         | Leaving { row; step; bound } ->
           if step <= st.feas_tol then begin
             st.degenerate_run <- st.degenerate_run + 1;
@@ -722,8 +809,7 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
           apply_move st alpha ~dir ~step j;
           pivot st alpha ~row j ~bound;
           if phase1 then st.dual_valid <- false
-          else if st.dual_valid then update_duals_after_pivot st ~row ~d;
-          incr since_refactor
+          else if st.dual_valid then update_duals_after_pivot st ~row ~d
       end
     done;
     match !result with

@@ -1,7 +1,8 @@
-(** Bounded-variable primal simplex for linear programs in {!Model.std} form.
+(** Bounded-variable simplex for linear programs in {!Model.std} form.
 
-    The implementation is a revised simplex with an explicitly maintained
-    dense basis inverse:
+    The implementation is a revised simplex over a factorized basis
+    ({!Basis}: sparse Markowitz LU with product-form eta updates, or the
+    dense Gauss–Jordan inverse kept as a reference backend):
 
     - slack columns are appended internally (one per row) so the working
       problem is [min c.x  s.t.  Ax + s = b] with bounds on every column;
@@ -13,14 +14,18 @@
       Bland's rule after a run of degenerate pivots, which guarantees
       termination; the simplex multipliers are cached and updated
       incrementally after phase-2 pivots instead of being recomputed by a
-      dense BTRAN every iteration;
-    - the basis inverse is refactorized (rebuilt by Gauss–Jordan elimination
-      from the current basis) periodically and before declaring optimality,
-      bounding numerical drift; routine pivot updates exploit the sparsity
-      of the pivot row;
+      full BTRAN every iteration;
+    - the basis is refactorized when the update chain exhausts its budget or
+      accumulated pivot error crosses a threshold (see {!Basis}), and before
+      declaring optimality, bounding numerical drift;
     - solves can be warm-started from the final basis of a previous solve of
       the same model with different bounds — this is how {!Branch_bound}
-      restarts each child node from its parent's optimal basis.
+      restarts each child node from its parent's optimal basis;
+    - a warm-started basis that is still dual feasible (the branch-and-bound
+      child pattern: parent-optimal basis, tightened bounds) is
+      re-optimized by a dual simplex phase — typically a handful of pivots —
+      before the primal phases run; the dual phase bails out to the primal
+      path on any numerical doubt, so it is purely an accelerator.
 
     Integrality markers in the input are ignored: this is the LP relaxation
     solver used by {!Branch_bound}. *)
@@ -35,12 +40,15 @@ type warm_basis = {
   wstatus : col_status array;
       (** One entry per column including slacks; nonbasic entries record
           which bound the column rests on. *)
-  wbinv : float array array option;
-      (** The basis inverse matching [wcols], when available.  Supplying it
-          lets a restart skip the O(m³) refactorization; dropping it (set to
-          [None]) keeps a stored snapshot at O(columns) memory.  When
-          present it must genuinely be the inverse of the [wcols] basis —
-          it is adopted unchecked. *)
+  wfac : Basis.t option;
+      (** The basis factorization matching [wcols], when available.
+          Supplying it lets a restart skip refactorization; dropping it (set
+          to [None]) keeps a stored snapshot at O(columns) memory.  It is
+          adopted (copied) only when its {!Basis.kind} matches the solve's
+          [backend] and its dimension matches the model; otherwise the
+          restart refactorizes from [wcols].  When present it must genuinely
+          be the factorization of the [wcols] basis — it is not
+          cross-checked. *)
 }
 (** A restartable snapshot of a simplex basis.  Obtained from
     {!result.Optimal} and fed back through [solve ~basis]; the solver
@@ -53,14 +61,17 @@ type result =
       x : float array;
       obj : float;
       iterations : int;
+      dual_iterations : int;
       duals : float array;
       basis : warm_basis;
     }
       (** [x] has one entry per structural variable; [obj] includes the
           model's objective offset; [duals] holds one simplex multiplier per
           row — the shadow price of the constraint at the optimum (zero for
-          non-binding rows).  [basis] is the final basis (with its inverse)
-          for warm-starting related solves. *)
+          non-binding rows).  [iterations] counts every pivot;
+          [dual_iterations] is the subset performed by the dual-simplex
+          restart phase.  [basis] is the final basis (with its
+          factorization) for warm-starting related solves. *)
   | Infeasible of { infeasibility : int }
       (** Phase 1 converged with the given number of still-violated basic
           variables. *)
@@ -74,6 +85,8 @@ val solve :
   ?feas_tol:float ->
   ?dual_tol:float ->
   ?partial_pricing:bool ->
+  ?backend:Basis.kind ->
+  ?dual_simplex:bool ->
   ?basis:warm_basis ->
   ?lb:float array ->
   ?ub:float array ->
@@ -83,6 +96,10 @@ val solve :
     variable bounds without touching [std] (this is how branch-and-bound
     explores nodes).  [basis] warm-starts from a previous solve's final
     basis (see {!warm_basis}); [partial_pricing:false] reverts to a full
-    Dantzig scan every iteration (kept for benchmarking the pricing
-    scheme).  Defaults: [max_iters] scales with problem size,
-    [feas_tol = 1e-7], [dual_tol = 1e-7], [partial_pricing = true]. *)
+    Dantzig scan every iteration (kept for benchmarking the pricing scheme).
+    [backend] selects the basis representation ([Basis.Lu] by default;
+    [Basis.Dense] is the reference oracle used by the differential tests).
+    [dual_simplex:false] disables the dual re-optimization phase on warm
+    starts (the differential reference configuration).  Defaults:
+    [max_iters] scales with problem size, [feas_tol = 1e-7],
+    [dual_tol = 1e-7], [partial_pricing = true]. *)

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository check: build, full test suite, and a quick solver-kernel bench
+# smoke run (same entry points CI uses).  Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (kernels --quick) =="
+dune exec bench/main.exe -- --quick kernels
+
+echo "== check OK =="

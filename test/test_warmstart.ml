@@ -146,11 +146,11 @@ let test_restart_tightened_bound () =
     (warm.iterations <= cold.iterations)
 
 let test_restart_without_inverse () =
-  (* the O(columns) snapshot (inverse dropped, as stored on B&B nodes) must
-     reconstruct the same optimum *)
+  (* the O(columns) snapshot (factorization dropped, as stored on B&B nodes)
+     must reconstruct the same optimum *)
   let std = restart_lp () in
   let first = solve_exn std in
-  let stripped = { first.basis with Simplex.wbinv = None } in
+  let stripped = { first.basis with Simplex.wfac = None } in
   let ub = Array.copy std.Model.ub in
   ub.(1) <- 1.0;
   let cold = solve_exn ~ub std in
@@ -166,7 +166,7 @@ let test_stale_basis_falls_back () =
     {
       Simplex.wcols = Array.make (Array.length first.basis.Simplex.wcols) 0;
       wstatus = first.basis.Simplex.wstatus;
-      wbinv = None;
+      wfac = None;
     }
   in
   let out = solve_exn ~basis:bogus std in
