@@ -101,12 +101,12 @@ let size_of (std : Model.std) = Printf.sprintf "nvars=%d nrows=%d" std.Model.nva
 (* LP kernel: pivots/sec under the two pricing schemes               *)
 
 let lp_kernel ~label ~repeats (std : Model.std) =
-  let run partial backend =
+  let run pricing backend =
     let t0 = Unix.gettimeofday () in
     let iters = ref 0 in
     let status = ref "?" and obj = ref nan in
     for _ = 1 to repeats do
-      match Simplex.solve ~partial_pricing:partial ~backend std with
+      match Simplex.solve ~pricing ~backend std with
       | Simplex.Optimal { iterations; obj = o; _ } ->
         iters := !iters + iterations;
         obj := o;
@@ -119,13 +119,15 @@ let lp_kernel ~label ~repeats (std : Model.std) =
     (dt, !iters, !status, !obj)
   in
   let rates = Hashtbl.create 4 and objs = Hashtbl.create 4 in
+  let pivots = Hashtbl.create 4 in
   List.iter
-    (fun (mode, partial, backend) ->
-      let dt, iters, status, obj = run partial backend in
+    (fun (mode, pricing, backend) ->
+      let dt, iters, status, obj = run pricing backend in
       let name = Printf.sprintf "lp-%s-%s" label mode in
       let rate = float_of_int iters /. dt in
       Hashtbl.replace rates mode rate;
       Hashtbl.replace objs mode obj;
+      Hashtbl.replace pivots mode iters;
       Report.row "%-34s %8.3fs  %6d pivots  %9.0f pivots/s  %6.1f LP/s  [%s]\n" name dt iters
         rate
         (float_of_int repeats /. dt)
@@ -137,9 +139,10 @@ let lp_kernel ~label ~repeats (std : Model.std) =
           ("lps_per_sec", flt (float_of_int repeats /. dt));
         ])
     [
-      ("full-pricing", false, Ras_mip.Basis.Lu);
-      ("partial-pricing", true, Ras_mip.Basis.Lu);
-      ("dense-inverse", true, Ras_mip.Basis.Dense);
+      ("dantzig-pricing", Simplex.Dantzig, Ras_mip.Basis.Lu);
+      ("partial-pricing", Simplex.Partial, Ras_mip.Basis.Lu);
+      ("devex-pricing", Simplex.Devex, Ras_mip.Basis.Lu);
+      ("dense-inverse", Simplex.Partial, Ras_mip.Basis.Dense);
     ];
   (* eta-vs-dense: same pricing scheme, the basis backend is the only
      difference *)
@@ -160,6 +163,29 @@ let lp_kernel ~label ~repeats (std : Model.std) =
     [
       ("pivots_per_sec_ratio", flt (lu_rate /. dn_rate));
       ("objectives_agree", string_of_bool obj_agree);
+    ];
+  (* pricing-rule comparison on the same (LU) backend: total pivot counts,
+     not just rates, so iteration-count claims live in the JSON.  The
+     acceptance ratio is pivots(devex)/pivots(partial): < 1 means Devex
+     saved pivots over the windowed Dantzig scan. *)
+  let zp = Hashtbl.find pivots "dantzig-pricing" in
+  let pp = Hashtbl.find pivots "partial-pricing" in
+  let dp = Hashtbl.find pivots "devex-pricing" in
+  let ratio num den = float_of_int num /. float_of_int (max 1 den) in
+  Report.row "%-34s pivots dantzig=%d partial=%d devex=%d (devex/partial %.3f)\n"
+    (Printf.sprintf "lp-%s pricing-rules" label)
+    zp pp dp (ratio dp pp);
+  record
+    ~kernel:(Printf.sprintf "lp-%s-devex-vs-partial-vs-dantzig" label)
+    ~size:(size_of std) ~wall_s:0.0
+    [
+      ("dantzig_pivots", string_of_int zp);
+      ("partial_pivots", string_of_int pp);
+      ("devex_pivots", string_of_int dp);
+      ("pivot_ratio_devex_over_partial", flt (ratio dp pp));
+      ("pivot_ratio_devex_over_dantzig", flt (ratio dp zp));
+      ( "pivots_per_sec_ratio_devex_over_partial",
+        flt (Hashtbl.find rates "devex-pricing" /. Hashtbl.find rates "partial-pricing") );
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -182,6 +208,7 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
         ("warm_started_nodes", string_of_int out.Branch_bound.warm_started_nodes);
         ("dual_restarted_nodes", string_of_int out.Branch_bound.dual_restarted_nodes);
         ("dual_pivots", string_of_int out.Branch_bound.dual_pivots);
+        ("bland_pivots", string_of_int out.Branch_bound.bland_pivots);
         ("nodes_per_sec", flt nodes_per_sec);
         ("lp_pivots", string_of_int out.Branch_bound.lp_iterations);
         ("pivots_per_sec", flt (float_of_int out.Branch_bound.lp_iterations /. dt));
@@ -211,7 +238,7 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
       {
         base with
         Branch_bound.warm_start = false;
-        lp_partial_pricing = false;
+        lp_pricing = Simplex.Dantzig;
         lp_backend = Ras_mip.Basis.Dense;
         dual_restart = false;
       }
@@ -225,7 +252,34 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
   (* current default: warm dual-simplex restarts on the factorized basis *)
   let dual, dual_rate = run (Printf.sprintf "bb-%s-warm-dual-lu" label) base in
   speedup "warm-vs-cold" dual_rate cold_rate (agree cold dual);
-  speedup "dual-vs-primal" dual_rate primal_rate (agree primal dual)
+  speedup "dual-vs-primal" dual_rate primal_rate (agree primal dual);
+  (* Devex weights across warm restarts: carry the parent's reference
+     framework into the child vs reset it — the ISSUE asks for both to be
+     measured.  Same search tree either way (pricing changes pivot order
+     inside each node LP, not the node sequence, when both find optima). *)
+  let carry, carry_rate =
+    run
+      (Printf.sprintf "bb-%s-devex-carry" label)
+      { base with Branch_bound.lp_devex_carry = true }
+  in
+  let reset, reset_rate =
+    run
+      (Printf.sprintf "bb-%s-devex-reset" label)
+      { base with Branch_bound.lp_devex_carry = false }
+  in
+  Report.row "%-34s %.2fx nodes/s (carry/reset), pivots carry=%d reset=%d, bounds agree: %b\n"
+    (Printf.sprintf "bb-%s devex-carry-vs-reset" label)
+    (carry_rate /. reset_rate) carry.Branch_bound.lp_iterations
+    reset.Branch_bound.lp_iterations (agree carry reset);
+  record
+    ~kernel:(Printf.sprintf "bb-%s-devex-carry-vs-reset" label)
+    ~size:(size_of std) ~wall_s:0.0
+    [
+      ("nodes_per_sec_ratio", flt (carry_rate /. reset_rate));
+      ("carry_lp_pivots", string_of_int carry.Branch_bound.lp_iterations);
+      ("reset_lp_pivots", string_of_int reset.Branch_bound.lp_iterations);
+      ("bounds_agree", string_of_bool (agree carry reset));
+    ]
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks (build kernels)                         *)

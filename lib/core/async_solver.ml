@@ -38,6 +38,7 @@ type stats = {
   solver_warm_starts : int;
   solver_dual_restarts : int;
   solver_dual_pivots : int;
+  solver_bland_pivots : int;
 }
 
 let owner_of_res res =
@@ -219,4 +220,5 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
     solver_warm_starts = sum (fun o -> o.Branch_bound.warm_started_nodes);
     solver_dual_restarts = sum (fun o -> o.Branch_bound.dual_restarted_nodes);
     solver_dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
+    solver_bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
   }

@@ -43,6 +43,9 @@ type stats = {
   solver_dual_restarts : int;
       (** warm-started nodes that re-optimized via the dual-simplex phase *)
   solver_dual_pivots : int;  (** dual-simplex pivots across both phases *)
+  solver_bland_pivots : int;
+      (** primal pivots taken under the Bland anti-cycling fallback across
+          both phases — nonzero flags degenerate stalls in the node LPs *)
 }
 
 val solve :

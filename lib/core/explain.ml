@@ -119,10 +119,12 @@ let solve_report (stats : Async_solver.stats) =
   add "%s\n" (timing_line "phase 1" p1.Phases.timing);
   add "    %d grouped vars (%d raw), %d rows, MIP nodes %d\n" p1.Phases.grouped_vars
     p1.Phases.raw_vars p1.Phases.rows p1.Phases.outcome.Branch_bound.nodes;
-  add "  solver kernels: %d B&B nodes (%d warm-started, %d dual-restarted), %d LP pivots (%d dual)\n"
+  add
+    "  solver kernels: %d B&B nodes (%d warm-started, %d dual-restarted), %d LP pivots (%d \
+     dual, %d bland)\n"
     stats.Async_solver.solver_nodes stats.Async_solver.solver_warm_starts
     stats.Async_solver.solver_dual_restarts stats.Async_solver.solver_lp_iterations
-    stats.Async_solver.solver_dual_pivots;
+    stats.Async_solver.solver_dual_pivots stats.Async_solver.solver_bland_pivots;
   (match stats.Async_solver.phase2 with
   | Some p2 ->
     add "%s\n" (timing_line "phase 2" p2.Phases.timing);

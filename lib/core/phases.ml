@@ -75,6 +75,7 @@ let run ?params ?(mip_time_limit = 60.0) ?(mip_node_limit = 2000) ?(rack_level =
         warm_started_nodes = 0;
         dual_restarted_nodes = 0;
         dual_pivots = 0;
+        bland_pivots = 0;
         elapsed = 0.0;
       }
     end

@@ -54,6 +54,11 @@ type t = {
   update_limit : int;
   mutable err : float;
   mutable refactors : int;
+  (* invoked after every successful refactorization: the owning solve hangs
+     state off the factorization's lifetime (Devex pricing weights are only
+     meaningful relative to the basis they were accumulated on, so the
+     simplex resets them here) *)
+  mutable on_refactor : unit -> unit;
 }
 
 (* Update-chain budgets: the dense rank-one update is cheap and accurate
@@ -104,10 +109,12 @@ let create knd ~m =
     update_limit = (match knd with Dense -> dense_update_limit | Lu -> lu_update_limit);
     err = 0.0;
     refactors = 0;
+    on_refactor = ignore;
   }
 
 let kind t = t.knd
 let dim t = t.m
+let set_refactor_hook t f = t.on_refactor <- f
 let updates_since_refactor t = t.updates
 let refactor_count t = t.refactors
 
@@ -125,6 +132,8 @@ let set_identity t =
 let copy t =
   {
     t with
+    (* the hook points into the donor solve's state; a copy starts detached *)
+    on_refactor = ignore;
     repr =
       (match t.repr with
       | Dense_r d -> Dense_r { inv = Array.map Array.copy d.inv; nzbuf = Array.make t.m 0 }
@@ -455,7 +464,8 @@ let refactorize t ~basis ~col =
   | Lu -> t.repr <- Lu_r (lu_refactorize t.m ~basis ~col));
   t.updates <- 0;
   t.err <- 0.0;
-  t.refactors <- t.refactors + 1
+  t.refactors <- t.refactors + 1;
+  t.on_refactor ()
 
 (* ------------------------------------------------------------------ *)
 (* LU solves                                                           *)

@@ -100,5 +100,16 @@ val eta_nnz : t -> int
 
 val refactor_count : t -> int
 
+val set_refactor_hook : t -> (unit -> unit) -> unit
+(** [set_refactor_hook t f] registers [f] to run after every successful
+    {!refactorize} of [t].  There is one hook slot per factorization; the
+    owning solve uses it to invalidate state that is only meaningful
+    relative to the basis the factors were built from — the {!Simplex}
+    Devex pricer resets its reference-framework weights here.  {!copy}
+    deliberately does not carry the hook (a copied factorization starts
+    detached), and a failed refactorization ({!Singular}) does not fire
+    it. *)
+
 val copy : t -> t
-(** Deep copy; the copy can be mutated independently. *)
+(** Deep copy; the copy can be mutated independently.  The refactor hook is
+    not copied (see {!set_refactor_hook}). *)

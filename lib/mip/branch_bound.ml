@@ -9,7 +9,8 @@ type options = {
   heuristic_period : int;
   initial : float array option;
   warm_start : bool;
-  lp_partial_pricing : bool;
+  lp_pricing : Simplex.pricing;
+  lp_devex_carry : bool;
   lp_backend : Basis.kind;
   dual_restart : bool;
 }
@@ -24,7 +25,8 @@ let default_options =
     heuristic_period = 20;
     initial = None;
     warm_start = true;
-    lp_partial_pricing = true;
+    lp_pricing = Simplex.Devex;
+    lp_devex_carry = false;
     lp_backend = Basis.Lu;
     dual_restart = true;
   }
@@ -40,6 +42,7 @@ type outcome = {
   warm_started_nodes : int;
   dual_restarted_nodes : int;
   dual_pivots : int;
+  bland_pivots : int;
   elapsed : float;
 }
 
@@ -170,6 +173,7 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let incumbent = ref None and incumbent_obj = ref infinity in
   let nodes = ref 0 and lp_iters = ref 0 and warm_nodes = ref 0 in
   let dual_nodes = ref 0 and dual_pivots = ref 0 in
+  let bland_pivots = ref 0 in
   let inexact = ref false in
   (* an LP node hit its iteration limit: optimality can no longer be proven *)
   let dummy_node = { nlb = [||]; nub = [||]; depth = 0; wb = None } in
@@ -216,15 +220,18 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
       in
       (match basis with Some _ -> incr warm_nodes | None -> ());
       match
-        Simplex.solve ~partial_pricing:options.lp_partial_pricing
-          ~backend:options.lp_backend ~dual_simplex:options.dual_restart ?basis
-          ~lb:node.nlb ~ub:node.nub std
+        Simplex.solve ~pricing:options.lp_pricing
+          ~devex_carry:options.lp_devex_carry ~backend:options.lp_backend
+          ~dual_simplex:options.dual_restart ?basis ~lb:node.nlb ~ub:node.nub std
       with
       | Simplex.Infeasible _ -> ()
       | Simplex.Unbounded -> unbounded := true
       | Simplex.Iteration_limit _ -> inexact := true
-      | Simplex.Optimal { x; obj; iterations; dual_iterations; basis = final_basis; _ } ->
+      | Simplex.Optimal
+          { x; obj; iterations; dual_iterations; bland_iterations; basis = final_basis; _ }
+        ->
         lp_iters := !lp_iters + iterations;
+        bland_pivots := !bland_pivots + bland_iterations;
         if dual_iterations > 0 then begin
           incr dual_nodes;
           dual_pivots := !dual_pivots + dual_iterations
@@ -339,6 +346,7 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
     warm_started_nodes = !warm_nodes;
     dual_restarted_nodes = !dual_nodes;
     dual_pivots = !dual_pivots;
+    bland_pivots = !bland_pivots;
     elapsed = elapsed ();
   }
 
@@ -359,6 +367,7 @@ let solve ?(options = default_options) (std : Model.std) =
       warm_started_nodes = 0;
       dual_restarted_nodes = 0;
       dual_pivots = 0;
+      bland_pivots = 0;
       elapsed = 0.0;
     }
   | Presolve.Reduced { std = reduced; fixed; _ } ->

@@ -35,8 +35,16 @@ type options = {
   warm_start : bool;
       (** restart child LPs from the parent's optimal basis; disable to get
           the cold-start behaviour (equivalence testing, benchmarking) *)
-  lp_partial_pricing : bool;
-      (** forwarded to {!Simplex.solve}'s [partial_pricing] *)
+  lp_pricing : Simplex.pricing;
+      (** entering-variable rule for every node LP, forwarded to
+          {!Simplex.solve}'s [pricing] *)
+  lp_devex_carry : bool;
+      (** when pricing with {!Simplex.Devex}, warm-started children adopt
+          the parent's reference-framework weights instead of resetting
+          them (forwarded to {!Simplex.solve}'s [devex_carry]).  Off by
+          default: benchmarking showed identical pivot counts either way
+          on the Table-1 MIPs (dual restarts do the re-optimization work)
+          with carry paying extra weight-copying per node *)
   lp_backend : Basis.kind;
       (** basis representation for every node LP ({!Basis.Lu} by default;
           {!Basis.Dense} is the differential-testing oracle) *)
@@ -49,8 +57,9 @@ type options = {
 val default_options : options
 (** [time_limit = infinity], [node_limit = 100_000], [gap_abs = 1e-6],
     [gap_rel = 1e-9], [int_tol = 1e-6], [heuristic_period = 20], no initial
-    solution, [warm_start = true], [lp_partial_pricing = true],
-    [lp_backend = Basis.Lu], [dual_restart = true]. *)
+    solution, [warm_start = true], [lp_pricing = Simplex.Devex],
+    [lp_devex_carry = false], [lp_backend = Basis.Lu],
+    [dual_restart = true]. *)
 
 type outcome = {
   status : status;
@@ -65,6 +74,10 @@ type outcome = {
   dual_restarted_nodes : int;
       (** warm-started nodes whose LP re-optimized via dual-simplex pivots *)
   dual_pivots : int;  (** total dual-simplex pivots across all node LPs *)
+  bland_pivots : int;
+      (** total primal pivots taken under the Bland anti-cycling fallback
+          across all node LPs (nonzero means some node hit a degenerate
+          stall) *)
   elapsed : float;  (** seconds *)
 }
 

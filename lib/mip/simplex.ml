@@ -3,15 +3,24 @@
    columns sit at zero. *)
 type col_status = Basic | At_lower | At_upper | Nb_free
 
+(* Entering-column selection rule.  Dantzig and Partial score candidates by
+   |reduced cost| (over every column / over a rotating window); Devex scores
+   by d^2 / w_j with reference-framework weights approximating the
+   steepest-edge norms (Forrest-Goldfarb). *)
+type pricing = Dantzig | Partial | Devex
+
 (* A restartable basis snapshot: which column is basic in each row plus the
    bound every nonbasic column rests on.  [wfac] optionally carries the
    matching basis factorization so a restart can skip refactorization;
    holders that keep many snapshots alive (the branch-and-bound node queue)
-   drop it to stay O(ntotal) per snapshot. *)
+   drop it to stay O(ntotal) per snapshot.  [wdevex] optionally carries the
+   final Devex weights so a warm restart can keep pricing in the parent's
+   reference framework instead of re-referencing to all-ones. *)
 type warm_basis = {
   wcols : int array;  (* wcols.(i) = column basic in row i *)
   wstatus : col_status array;  (* one entry per column incl. slacks *)
   wfac : Basis.t option;  (* basis factorization matching wcols *)
+  wdevex : float array option;  (* Devex weights at the final basis *)
 }
 
 type result =
@@ -20,6 +29,7 @@ type result =
       obj : float;
       iterations : int;
       dual_iterations : int;
+      bland_iterations : int;
       duals : float array;
       basis : warm_basis;
     }
@@ -43,18 +53,37 @@ type state = {
   pivot_tol : float;
   mutable bland : bool;  (* anti-cycling mode *)
   mutable degenerate_run : int;
+  degen_limit : int;  (* consecutive degenerate pivots before Bland mode *)
   mutable iterations : int;
   mutable dual_pivots : int;
+  mutable bland_pivots : int;  (* pivots whose entering column Bland chose *)
   (* cached simplex multipliers y = c_B^T B^-1: recomputed by BTRAN in
      phase 1 (the phase-1 cost vector moves with the iterate) and after
      refactorization, updated incrementally after phase-2 pivots *)
   mutable dual : float array;
   mutable dual_valid : bool;
   mutable dual_phase1 : bool;
+  (* entering-column selection *)
+  pricing : pricing;
   (* candidate-list pricing state *)
-  partial : bool;
   price_window : int;
   mutable price_cursor : int;
+  (* Devex reference-framework state.  [devex_w.(j)] approximates the
+     steepest-edge weight of column j relative to the basis at the last
+     reference reset; weights of basic columns are frozen until they leave.
+     The exact Forrest-Goldfarb update needs the pivot row over every
+     nonbasic column, which this revised simplex never forms; instead the
+     pivot stores the new B^-1 pivot row ([devex_pending]) and the next full
+     pricing scan folds the update w_j <- max(w_j, g * (rho . A_j)^2) into
+     the reduced-cost pass it does anyway — every nonbasic column is
+     visited exactly once per pivot, at no extra column traversals. *)
+  devex_w : float array;
+  mutable devex_pending : float array option;  (* new B^-1 pivot row *)
+  mutable devex_pending_g : float;  (* reference weight of the pivot *)
+  mutable devex_strikes : int;  (* weight-accuracy violations observed *)
+  mutable devex_gen : int;  (* bumped by every reference reset *)
+  devex_reset_period : int;  (* forced re-reference every N pivots; 0 = off *)
+  trace : (iteration:int -> min_devex_weight:float -> unit) option;
 }
 
 (* -------------------------------------------------------------------- *)
@@ -77,6 +106,27 @@ let ftran st j =
 
 (* -------------------------------------------------------------------- *)
 (* Basis maintenance                                                     *)
+
+(* Restart the Devex reference framework: all weights one (the current
+   basis becomes the reference basis), no pending pivot-row update.  Fired
+   on refactorization (via the {!Basis} hook installed in [initial_state]),
+   on entry to Bland mode, when the accuracy check has struck out, and on a
+   forced periodic re-reference. *)
+let reset_devex st =
+  Array.fill st.devex_w 0 st.ntotal 1.0;
+  st.devex_pending <- None;
+  st.devex_strikes <- 0;
+  st.devex_gen <- st.devex_gen + 1
+
+(* Devex accuracy policy.  At pivot time the exact steepest-edge measure of
+   the entering column, 1 + ||alpha||², is available for free from the
+   FTRAN.  The reference-framework weight approximates the norm over a
+   subset of that sum, so it should never exceed the exact measure by much;
+   when the stored weight overshoots it by [devex_weight_slack] the
+   framework has drifted — one strike — and [devex_max_strikes] strikes
+   force a reset. *)
+let devex_weight_slack = 3.0
+let devex_max_strikes = 3
 
 (* Rebuild the factorization from scratch for the current basis columns.
    Bounds numerical drift from the update chain.  Raises Basis.Singular
@@ -180,14 +230,17 @@ let entering_direction st ~d j =
       else if d > st.dual_tol then Some (-1.0)
       else None
 
-(* Entering-column choice.  Three regimes:
+(* Entering-column choice.  Four regimes:
    - Bland's rule (anti-cycling): lowest-index improving column, full scan;
    - full Dantzig: best |reduced cost| over every column (the seed scheme,
      kept selectable for benchmarking);
-   - candidate-list partial pricing (default): scan a rotating window from
+   - candidate-list partial pricing: scan a rotating window from
      [price_cursor]; once an improving candidate is seen, stop at the window
      boundary and take the best so far.  Only a completely dry full rotation
-     declares dual feasibility, so optimality claims are unchanged. *)
+     declares dual feasibility, so optimality claims are unchanged;
+   - Devex (default): full scan scoring d^2 / w_j under the approximate
+     steepest-edge weights, folding the previous pivot's weight update into
+     the same pass (see the [devex_pending] comment on [state]). *)
 let choose_entering st ~phase1 =
   let y = st.dual in
   if st.bland then begin
@@ -202,7 +255,9 @@ let choose_entering st ~phase1 =
     in
     scan 0
   end
-  else if not st.partial then begin
+  else
+    match st.pricing with
+    | Dantzig ->
     let best = ref None and best_score = ref 0.0 in
     for j = 0 to st.ntotal - 1 do
       if st.status.(j) <> Basic then begin
@@ -218,8 +273,41 @@ let choose_entering st ~phase1 =
       end
     done;
     !best
-  end
-  else begin
+    | Devex ->
+    (* One pass over the nonbasic columns computes the reduced cost and —
+       when a pivot-row update is pending — the pivot-row entry
+       rho . A_j, applying w_j <- max(w_j, g * (rho . A_j)^2) before the
+       column is scored.  Clearing [devex_pending] afterwards keeps the
+       update applied exactly once per pivot. *)
+    let best = ref None and best_score = ref 0.0 in
+    let pend = st.devex_pending and g = st.devex_pending_g in
+    for j = 0 to st.ntotal - 1 do
+      if st.status.(j) <> Basic then begin
+        let c = if phase1 then 0.0 else st.obj.(j) in
+        let d = ref c in
+        (match pend with
+        | Some rho ->
+          let a = ref 0.0 in
+          col_iter st j (fun r coef ->
+              d := !d -. (y.(r) *. coef);
+              a := !a +. (rho.(r) *. coef));
+          let w' = g *. !a *. !a in
+          if w' > st.devex_w.(j) then st.devex_w.(j) <- w'
+        | None -> col_iter st j (fun r coef -> d := !d -. (y.(r) *. coef)));
+        let d = !d in
+        match entering_direction st ~d j with
+        | Some dir ->
+          let score = d *. d /. st.devex_w.(j) in
+          if score > !best_score then begin
+            best_score := score;
+            best := Some (j, dir, d)
+          end
+        | None -> ()
+      end
+    done;
+    st.devex_pending <- None;
+    !best
+    | Partial ->
     let n = st.ntotal in
     let best_j = ref (-1) and best_dir = ref 1.0 and best_d = ref 0.0 in
     let best_score = ref 0.0 in
@@ -254,7 +342,6 @@ let choose_entering st ~phase1 =
          if c >= n then c - n else c);
       Some (!best_j, !best_dir, !best_d)
     end
-  end
 
 (* -------------------------------------------------------------------- *)
 (* Ratio test                                                            *)
@@ -353,6 +440,8 @@ let set_cold st =
   done;
   Basis.set_identity st.fac;
   st.dual_valid <- false;
+  (* the basis jumped wholesale; any accumulated pricing state is stale *)
+  if st.pricing = Devex then reset_devex st;
   recompute_basics st
 
 (* -------------------------------------------------------------------- *)
@@ -436,7 +525,7 @@ let try_warm st (wb : warm_basis) =
   end
 
 let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_override ?basis
-    ~partial ~backend (std : Model.std) =
+    ~pricing ~devex_carry ~degen_limit ~devex_reset_period ~trace ~backend (std : Model.std) =
   let m = std.nrows in
   let nvars = std.nvars in
   let ntotal = nvars + m in
@@ -479,18 +568,38 @@ let initial_state ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?lb_override ?ub_overrid
       pivot_tol = 1e-9;
       bland = false;
       degenerate_run = 0;
+      degen_limit;
       iterations = 0;
       dual_pivots = 0;
+      bland_pivots = 0;
       dual = Array.make m 0.0;
       dual_valid = false;
       dual_phase1 = false;
-      partial;
+      pricing;
       price_window = Stdlib.max 256 (ntotal / 4);
       price_cursor = 0;
+      devex_w = Array.make ntotal 1.0;
+      devex_pending = None;
+      devex_pending_g = 1.0;
+      devex_strikes = 0;
+      devex_gen = 0;
+      devex_reset_period;
+      trace;
     }
   in
   let warmed = match basis with Some wb -> try_warm st wb | None -> false in
   if not warmed then set_cold st;
+  if pricing = Devex then begin
+    (* weights live and die with the factorized basis: any refactorization
+       re-references the framework (installed after the warm attempt so the
+       adopted factorization copy gets this solve's hook) *)
+    Basis.set_refactor_hook st.fac (fun () -> reset_devex st);
+    match basis with
+    | Some { wdevex = Some w; _ } when warmed && devex_carry && Array.length w = ntotal ->
+      (* keep pricing in the donor solve's reference framework *)
+      Array.blit w 0 st.devex_w 0 ntotal
+    | _ -> ()
+  end;
   (st, warmed)
 
 let objective_value st =
@@ -502,7 +611,13 @@ let objective_value st =
 
 let extract st = Array.sub st.xval 0 st.std.nvars
 
-let final_basis st = { wcols = st.basis; wstatus = st.status; wfac = Some st.fac }
+let final_basis st =
+  {
+    wcols = st.basis;
+    wstatus = st.status;
+    wfac = Some st.fac;
+    wdevex = (if st.pricing = Devex then Some (Array.copy st.devex_w) else None);
+  }
 
 (* -------------------------------------------------------------------- *)
 (* Dual simplex                                                          *)
@@ -688,12 +803,14 @@ let solve_unconstrained std lb ub =
         obj = !obj;
         iterations = 0;
         dual_iterations = 0;
+        bland_iterations = 0;
         duals = [||];
-        basis = { wcols = [||]; wstatus = [||]; wfac = None };
+        basis = { wcols = [||]; wstatus = [||]; wfac = None; wdevex = None };
       }
   end
 
-let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = true)
+let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(pricing = Devex)
+    ?(devex_carry = false) ?(degen_limit = 100) ?(devex_reset_period = 0) ?trace
     ?(backend = Basis.Lu) ?(dual_simplex = true) ?basis ?lb ?ub (std : Model.std) =
   (* A variable fixed-range check also covers per-node bound conflicts. *)
   let lbs = match lb with Some a -> a | None -> std.lb in
@@ -707,7 +824,7 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
   else begin
     let st, warmed =
       initial_state ~feas_tol ~dual_tol ?lb_override:lb ?ub_override:ub ?basis
-        ~partial:partial_pricing ~backend std
+        ~pricing ~devex_carry ~degen_limit ~devex_reset_period ~trace ~backend std
     in
     let max_iters =
       match max_iters with
@@ -726,6 +843,10 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
     let result = ref None in
     while !result = None && st.iterations < max_iters do
       st.iterations <- st.iterations + 1;
+      if
+        st.pricing = Devex && st.devex_reset_period > 0
+        && st.iterations mod st.devex_reset_period = 0
+      then reset_devex st;
       if Basis.should_refactorize st.fac then begin
         (try refactor st with Basis.Singular -> ());
         recompute_basics st
@@ -769,6 +890,7 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
                      obj = objective_value st;
                      iterations = st.iterations;
                      dual_iterations = st.dual_pivots;
+                     bland_iterations = st.bland_pivots;
                      duals;
                      basis = final_basis st;
                    })
@@ -798,18 +920,77 @@ let solve ?max_iters ?(feas_tol = 1e-7) ?(dual_tol = 1e-7) ?(partial_pricing = t
              phase-1 cost vector may shift with the moved basic values *)
           if phase1 then st.dual_valid <- false
         | Leaving { row; step; bound } ->
+          let was_bland = st.bland in
           if step <= st.feas_tol then begin
             st.degenerate_run <- st.degenerate_run + 1;
-            if st.degenerate_run > 100 then st.bland <- true
+            if st.degenerate_run > st.degen_limit && not st.bland then begin
+              st.bland <- true;
+              (* Bland's rule ignores the weights; restart the reference
+                 framework from whatever basis Bland mode leaves us in. *)
+              if st.pricing = Devex then reset_devex st
+            end
           end
           else begin
             st.degenerate_run <- 0;
             st.bland <- false
           end;
+          if was_bland then st.bland_pivots <- st.bland_pivots + 1;
           apply_move st alpha ~dir ~step j;
+          (* Devex bookkeeping needs pre-pivot data: the entering column's
+             stored weight, the pivot element, and the leaving variable. *)
+          let devex_live = st.pricing = Devex && not st.bland in
+          let gen0 = st.devex_gen in
+          let entering_w =
+            if devex_live then Float.max 1.0 st.devex_w.(j) else 1.0
+          in
+          let leaving = st.basis.(row) in
+          let arq = alpha.(row) in
           pivot st alpha ~row j ~bound;
-          if phase1 then st.dual_valid <- false
-          else if st.dual_valid then update_duals_after_pivot st ~row ~d
+          let need_dual = (not phase1) && st.dual_valid in
+          if phase1 then st.dual_valid <- false;
+          (* [pivot] may have refactorized (refused update), which fires the
+             reset hook and bumps the generation — a stale pending row from
+             before the reset must not be installed. *)
+          let devex_live = devex_live && st.devex_gen = gen0 in
+          if need_dual || devex_live then begin
+            (* Both the incremental dual update and the lazy Devex weight
+               update consume the post-pivot B⁻¹ pivot row; one BTRAN
+               serves both. *)
+            let brow = Basis.row_of_inverse st.fac row in
+            if need_dual && d <> 0.0 then begin
+              let y = st.dual in
+              for k = 0 to st.m - 1 do
+                y.(k) <- y.(k) +. (d *. brow.(k))
+              done
+            end;
+            if devex_live then begin
+              let se = ref 1.0 in
+              for i = 0 to st.m - 1 do
+                se := !se +. (alpha.(i) *. alpha.(i))
+              done;
+              if entering_w > devex_weight_slack *. !se then begin
+                st.devex_strikes <- st.devex_strikes + 1;
+                if st.devex_strikes > devex_max_strikes then reset_devex st
+              end;
+              if st.devex_gen = gen0 then begin
+                (* Forrest–Goldfarb: the leaving variable re-enters the
+                   nonbasic set with weight max(1, ĝ/α_rq²); every other
+                   nonbasic weight is folded in lazily at the next pricing
+                   scan through [devex_pending]. *)
+                st.devex_w.(leaving) <- Float.max 1.0 (entering_w /. (arq *. arq));
+                st.devex_pending <- Some brow;
+                st.devex_pending_g <- entering_w
+              end
+            end
+          end;
+          (match st.trace with
+          | Some f when st.pricing = Devex ->
+            let mw = ref infinity in
+            for k = 0 to st.ntotal - 1 do
+              if st.devex_w.(k) < !mw then mw := st.devex_w.(k)
+            done;
+            f ~iteration:st.iterations ~min_devex_weight:!mw
+          | Some _ | None -> ())
       end
     done;
     match !result with

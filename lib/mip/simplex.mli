@@ -9,9 +9,10 @@
     - infeasible starts are handled by a piecewise-linear phase 1 that
       minimizes the total bound violation of basic variables (no artificial
       columns are added);
-    - pricing is candidate-list partial pricing over a rotating window
-      (Dantzig scores within the window), with an automatic switch to
-      Bland's rule after a run of degenerate pivots, which guarantees
+    - three pricing rules are available (see {!pricing}): a full Dantzig
+      scan, candidate-list partial pricing over a rotating window, and
+      Devex approximate steepest-edge (the default); every rule switches
+      to Bland's rule after a run of degenerate pivots, which guarantees
       termination; the simplex multipliers are cached and updated
       incrementally after phase-2 pivots instead of being recomputed by a
       full BTRAN every iteration;
@@ -29,6 +30,27 @@
 
     Integrality markers in the input are ignored: this is the LP relaxation
     solver used by {!Branch_bound}. *)
+
+type pricing =
+  | Dantzig  (** Full scan, most-negative reduced cost.  The textbook rule;
+                 O(n) reduced costs per iteration and prone to long stalls
+                 on degenerate problems. *)
+  | Partial  (** Candidate-list partial pricing: Dantzig scores within a
+                 rotating window of columns, falling back to a full scan
+                 when the window prices out. *)
+  | Devex
+      (** Forrest–Goldfarb approximate steepest-edge.  Each nonbasic
+          column carries a reference-framework weight [w_j ≥ 1]
+          approximating [‖B⁻¹A_j‖²] over a reference basis; the entering
+          column maximizes [d_j²/w_j].  Weights are updated from the
+          pivot's FTRAN/BTRAN vectors (no extra column passes: the
+          neighbour update is folded into the next pricing scan) and the
+          framework is reset — all weights back to 1 — on
+          refactorization, on entry to Bland mode, when the accuracy
+          estimate strikes out, and on [devex_reset_period].  Fewer
+          pivots than Dantzig/Partial on degenerate problems at the cost
+          of a full-width scan per iteration. *)
+(** Entering-variable selection rule for the primal phases. *)
 
 type col_status = Basic | At_lower | At_upper | Nb_free
 (** Where a column currently rests: basic, pinned at a bound, or free at
@@ -49,6 +71,12 @@ type warm_basis = {
           restart refactorizes from [wcols].  When present it must genuinely
           be the factorization of the [wcols] basis — it is not
           cross-checked. *)
+  wdevex : float array option;
+      (** Devex reference-framework weights at the end of the solve
+          ([None] unless the solve priced with {!Devex}).  A restart
+          adopts them only when [solve ~devex_carry:true] and the warm
+          basis was actually installed; otherwise the restart begins from
+          a fresh framework (all weights 1). *)
 }
 (** A restartable snapshot of a simplex basis.  Obtained from
     {!result.Optimal} and fed back through [solve ~basis]; the solver
@@ -62,6 +90,7 @@ type result =
       obj : float;
       iterations : int;
       dual_iterations : int;
+      bland_iterations : int;
       duals : float array;
       basis : warm_basis;
     }
@@ -70,7 +99,9 @@ type result =
           row — the shadow price of the constraint at the optimum (zero for
           non-binding rows).  [iterations] counts every pivot;
           [dual_iterations] is the subset performed by the dual-simplex
-          restart phase.  [basis] is the final basis (with its
+          restart phase, and [bland_iterations] the primal subset taken
+          under the Bland anti-cycling fallback (nonzero means the solve
+          hit a degenerate stall).  [basis] is the final basis (with its
           factorization) for warm-starting related solves. *)
   | Infeasible of { infeasibility : int }
       (** Phase 1 converged with the given number of still-violated basic
@@ -84,7 +115,11 @@ val solve :
   ?max_iters:int ->
   ?feas_tol:float ->
   ?dual_tol:float ->
-  ?partial_pricing:bool ->
+  ?pricing:pricing ->
+  ?devex_carry:bool ->
+  ?degen_limit:int ->
+  ?devex_reset_period:int ->
+  ?trace:(iteration:int -> min_devex_weight:float -> unit) ->
   ?backend:Basis.kind ->
   ?dual_simplex:bool ->
   ?basis:warm_basis ->
@@ -95,11 +130,20 @@ val solve :
 (** [solve std] solves the LP relaxation.  [lb]/[ub] override the structural
     variable bounds without touching [std] (this is how branch-and-bound
     explores nodes).  [basis] warm-starts from a previous solve's final
-    basis (see {!warm_basis}); [partial_pricing:false] reverts to a full
-    Dantzig scan every iteration (kept for benchmarking the pricing scheme).
-    [backend] selects the basis representation ([Basis.Lu] by default;
-    [Basis.Dense] is the reference oracle used by the differential tests).
+    basis (see {!warm_basis}).  [pricing] selects the entering-variable
+    rule (default {!Devex}); [devex_carry] lets a warm start adopt the
+    snapshot's Devex weights instead of resetting the framework (default
+    [false]: reset).  [degen_limit] is the number of consecutive
+    degenerate pivots tolerated before switching to Bland's rule (default
+    100; [0] switches on the first degenerate pivot — used by the cycling
+    tests).  [devex_reset_period] > 0 forces a framework reset every that
+    many iterations (default [0]: never; used by the reset-equivalence
+    property tests).  [trace], when supplied and pricing is {!Devex}, is
+    called after every primal pivot with the iteration count and the
+    minimum weight over all columns (test instrumentation).  [backend]
+    selects the basis representation ([Basis.Lu] by default; [Basis.Dense]
+    is the reference oracle used by the differential tests).
     [dual_simplex:false] disables the dual re-optimization phase on warm
     starts (the differential reference configuration).  Defaults:
     [max_iters] scales with problem size, [feas_tol = 1e-7],
-    [dual_tol = 1e-7], [partial_pricing = true]. *)
+    [dual_tol = 1e-7]. *)

@@ -1,19 +1,34 @@
-(* Differential solver harness: the factorized production path (LU + eta
-   updates + dual-simplex restarts) against the retained dense-inverse
-   reference path on seeded random bounded LPs and MIPs.
+(* Differential solver harness: every pricing rule (Dantzig, Partial,
+   Devex) on every basis backend (dense inverse, LU + eta) against one
+   reference configuration — full Dantzig scan on the dense inverse with
+   the dual-simplex phase off — on a 280-instance seeded corpus of random
+   bounded LPs and MIPs (140 LP + 60 warm-restart LP + 80 MIP).
 
-   Every generated instance is solved twice; the two paths must agree on the
-   feasibility verdict, the objective value (within 1e-6, scale-relative)
-   and — for MIPs — the branch-and-bound best bound.  The generator covers
-   sizes up to ~60 rows × 120 columns for LPs and small bounded integer
-   programs for MIPs, with free/fixed/one-sided/negative variable bounds and
-   all three row senses. *)
+   Every generated instance is solved under all six pricing×backend
+   combinations; each must agree with the reference on the feasibility
+   verdict, the objective value (within 1e-6, scale-relative) and — for
+   MIPs — the branch-and-bound best bound.  The generator covers sizes up
+   to ~60 rows × 120 columns for LPs and small bounded integer programs
+   for MIPs, with free/fixed/one-sided/negative variable bounds and all
+   three row senses. *)
 
 open Ras_mip
 module R = Ras_stats.Rng
 
 let reference_backend = Basis.Dense
 let production_backend = Basis.Lu
+
+(* the full pricing × backend matrix every instance is solved under *)
+let all_pricings =
+  [ ("dantzig", Simplex.Dantzig); ("partial", Simplex.Partial); ("devex", Simplex.Devex) ]
+
+let all_backends = [ ("dense", Basis.Dense); ("lu", Basis.Lu) ]
+
+let iter_configs f =
+  List.iter
+    (fun (pname, pricing) ->
+      List.iter (fun (bname, backend) -> f ~pname ~pricing ~bname ~backend) all_backends)
+    all_pricings
 
 (* ------------------------------------------------------------------ *)
 (* Instance generator                                                  *)
@@ -80,20 +95,26 @@ let lp_verdict = function
   | Simplex.Iteration_limit _ -> "iteration-limit"
 
 let check_lp_instance seed std =
-  let reference = Simplex.solve ~backend:reference_backend ~dual_simplex:false std in
-  let produced = Simplex.solve ~backend:production_backend std in
-  match (reference, produced) with
-  | Simplex.Optimal r, Simplex.Optimal p ->
-    if Float.abs (r.obj -. p.obj) > obj_tol r.obj then
-      Alcotest.failf "seed %d: objectives differ: dense %.9g vs lu %.9g" seed r.obj p.obj;
-    (match Model.check_solution std p.x with
-    | Ok () -> ()
-    | Error msg -> Alcotest.failf "seed %d: lu solution infeasible: %s" seed msg)
-  | Simplex.Infeasible _, Simplex.Infeasible _ -> ()
-  | Simplex.Unbounded, Simplex.Unbounded -> ()
-  | r, p ->
-    Alcotest.failf "seed %d: verdicts differ: dense %s vs lu %s" seed (lp_verdict r)
-      (lp_verdict p)
+  let reference =
+    Simplex.solve ~pricing:Simplex.Dantzig ~backend:reference_backend ~dual_simplex:false
+      std
+  in
+  iter_configs (fun ~pname ~pricing ~bname ~backend ->
+      let produced = Simplex.solve ~pricing ~backend std in
+      match (reference, produced) with
+      | Simplex.Optimal r, Simplex.Optimal p ->
+        if Float.abs (r.obj -. p.obj) > obj_tol r.obj then
+          Alcotest.failf "seed %d [%s/%s]: objectives differ: ref %.9g vs %.9g" seed pname
+            bname r.obj p.obj;
+        (match Model.check_solution std p.x with
+        | Ok () -> ()
+        | Error msg ->
+          Alcotest.failf "seed %d [%s/%s]: solution infeasible: %s" seed pname bname msg)
+      | Simplex.Infeasible _, Simplex.Infeasible _ -> ()
+      | Simplex.Unbounded, Simplex.Unbounded -> ()
+      | r, p ->
+        Alcotest.failf "seed %d [%s/%s]: verdicts differ: ref %s vs %s" seed pname bname
+          (lp_verdict r) (lp_verdict p))
 
 let test_lp_differential () =
   let count = ref 0 in
@@ -165,18 +186,26 @@ let test_lp_warm_differential () =
       if lb.(j) <= ub.(j) then begin
         incr exercised;
         let reference =
-          Simplex.solve ~backend:reference_backend ~dual_simplex:false ~lb ~ub std
+          Simplex.solve ~pricing:Simplex.Dantzig ~backend:reference_backend
+            ~dual_simplex:false ~lb ~ub std
         in
-        let produced = Simplex.solve ~backend:production_backend ~basis ~lb ~ub std in
-        match (reference, produced) with
-        | Simplex.Optimal r, Simplex.Optimal p ->
-          if Float.abs (r.obj -. p.obj) > obj_tol r.obj then
-            Alcotest.failf "warm seed %d: objectives differ: %.9g vs %.9g" seed r.obj p.obj
-        | Simplex.Infeasible _, Simplex.Infeasible _ -> ()
-        | Simplex.Unbounded, Simplex.Unbounded -> ()
-        | r, p ->
-          Alcotest.failf "warm seed %d: verdicts differ: %s vs %s" seed (lp_verdict r)
-            (lp_verdict p)
+        iter_configs (fun ~pname ~pricing ~bname ~backend ->
+            (* Devex restarts adopt the snapshot's weights: the carry path
+               is the risky one, so it is the one differentially tested *)
+            let produced =
+              Simplex.solve ~pricing ~devex_carry:(pricing = Simplex.Devex) ~backend
+                ~basis ~lb ~ub std
+            in
+            match (reference, produced) with
+            | Simplex.Optimal r, Simplex.Optimal p ->
+              if Float.abs (r.obj -. p.obj) > obj_tol r.obj then
+                Alcotest.failf "warm seed %d [%s/%s]: objectives differ: %.9g vs %.9g"
+                  seed pname bname r.obj p.obj
+            | Simplex.Infeasible _, Simplex.Infeasible _ -> ()
+            | Simplex.Unbounded, Simplex.Unbounded -> ()
+            | r, p ->
+              Alcotest.failf "warm seed %d [%s/%s]: verdicts differ: %s vs %s" seed pname
+                bname (lp_verdict r) (lp_verdict p))
       end
     | _ -> ()
   done;
@@ -195,32 +224,37 @@ let status_name = function
   | Branch_bound.Unknown -> "unknown"
 
 let check_mip_instance seed std =
-  let solve backend dual =
+  let solve pricing backend dual =
     let options =
       {
         Branch_bound.default_options with
-        Branch_bound.lp_backend = backend;
+        Branch_bound.lp_pricing = pricing;
+        lp_backend = backend;
         dual_restart = dual;
         node_limit = 20_000;
       }
     in
     Branch_bound.solve ~options std
   in
-  let reference = solve reference_backend false in
-  let produced = solve production_backend true in
-  if reference.Branch_bound.status <> produced.Branch_bound.status then
-    Alcotest.failf "seed %d: MIP status differs: dense %s vs lu %s" seed
-      (status_name reference.Branch_bound.status)
-      (status_name produced.Branch_bound.status);
-  match reference.Branch_bound.status with
-  | Branch_bound.Optimal ->
-    let r = reference.Branch_bound.objective and p = produced.Branch_bound.objective in
-    if Float.abs (r -. p) > obj_tol r then
-      Alcotest.failf "seed %d: MIP objectives differ: dense %.9g vs lu %.9g" seed r p;
-    let rb = reference.Branch_bound.best_bound and pb = produced.Branch_bound.best_bound in
-    if Float.abs (rb -. pb) > obj_tol rb then
-      Alcotest.failf "seed %d: MIP bounds differ: dense %.9g vs lu %.9g" seed rb pb
-  | _ -> ()
+  let reference = solve Simplex.Dantzig reference_backend false in
+  iter_configs (fun ~pname ~pricing ~bname ~backend ->
+      let produced = solve pricing backend true in
+      if reference.Branch_bound.status <> produced.Branch_bound.status then
+        Alcotest.failf "seed %d [%s/%s]: MIP status differs: ref %s vs %s" seed pname bname
+          (status_name reference.Branch_bound.status)
+          (status_name produced.Branch_bound.status);
+      match reference.Branch_bound.status with
+      | Branch_bound.Optimal ->
+        let r = reference.Branch_bound.objective and p = produced.Branch_bound.objective in
+        if Float.abs (r -. p) > obj_tol r then
+          Alcotest.failf "seed %d [%s/%s]: MIP objectives differ: ref %.9g vs %.9g" seed
+            pname bname r p;
+        let rb = reference.Branch_bound.best_bound
+        and pb = produced.Branch_bound.best_bound in
+        if Float.abs (rb -. pb) > obj_tol rb then
+          Alcotest.failf "seed %d [%s/%s]: MIP bounds differ: ref %.9g vs %.9g" seed pname
+            bname rb pb
+      | _ -> ())
 
 let test_mip_differential () =
   let count = ref 0 in
@@ -234,10 +268,10 @@ let test_mip_differential () =
 
 let suite =
   [
-    Alcotest.test_case "lp: factorized matches dense oracle (140 instances)" `Quick
-      test_lp_differential;
-    Alcotest.test_case "lp warm restart: dual simplex matches oracle (60 seeds)" `Quick
+    Alcotest.test_case "lp: 3 pricing rules x 2 backends match oracle (140 instances)"
+      `Quick test_lp_differential;
+    Alcotest.test_case "lp warm restart: all configs match oracle (60 seeds)" `Quick
       test_lp_warm_differential;
-    Alcotest.test_case "mip: bounds and verdicts match dense oracle (80 instances)" `Quick
-      test_mip_differential;
+    Alcotest.test_case "mip: all configs match oracle bounds/verdicts (80 instances)"
+      `Quick test_mip_differential;
   ]

@@ -479,6 +479,8 @@ type golden_expect =
 let golden_fixtures =
   [
     ("basic.lp", Lp_opt (-5.0));
+    ("beale.lp", Lp_opt (-0.05));
+    ("kuhn_cycle.lp", Lp_opt (-2.0));
     ("degenerate.lp", Lp_opt (-2.0));
     ("dual_degenerate.lp", Lp_opt (-3.0));
     ("free_var.lp", Lp_opt (-3.0));
@@ -496,21 +498,21 @@ let load_fixture name =
   | Ok std -> std
   | Error msg -> Alcotest.failf "%s: parse error: %s" name msg
 
-let check_golden backend (name, expect) =
+let check_golden ?pricing backend (name, expect) =
   let std = load_fixture name in
   match expect with
   | Lp_opt want -> (
-    match Simplex.solve ~backend std with
+    match Simplex.solve ?pricing ~backend std with
     | Simplex.Optimal { obj; x; _ } ->
       Alcotest.(check (float 1e-6)) (name ^ " objective") want obj;
       Alcotest.(check bool) (name ^ " solution feasible") true (feasible std x)
     | _ -> Alcotest.failf "%s: expected optimal" name)
   | Lp_infeas -> (
-    match Simplex.solve ~backend std with
+    match Simplex.solve ?pricing ~backend std with
     | Simplex.Infeasible _ -> ()
     | _ -> Alcotest.failf "%s: expected infeasible" name)
   | Lp_unbounded -> (
-    match Simplex.solve ~backend std with
+    match Simplex.solve ?pricing ~backend std with
     | Simplex.Unbounded -> ()
     | _ -> Alcotest.failf "%s: expected unbounded" name)
   | Mip_opt want -> (
@@ -528,6 +530,62 @@ let check_golden backend (name, expect) =
 
 let test_golden_lu () = List.iter (check_golden Basis.Lu) golden_fixtures
 let test_golden_dense () = List.iter (check_golden Basis.Dense) golden_fixtures
+
+let test_golden_pricing_rules () =
+  (* the whole corpus again under each explicit pricing rule: a pricing
+     regression must be caught by a fixed instance, not only by the random
+     differential harness *)
+  List.iter
+    (fun pricing -> List.iter (check_golden ~pricing Basis.Lu) golden_fixtures)
+    [ Simplex.Dantzig; Simplex.Partial; Simplex.Devex ]
+
+(* ---------- Cycling-prone fixtures and the Bland fallback ----------
+
+   Beale's and Kuhn's examples cycle under naive most-negative-reduced-cost
+   pricing; the solver must terminate with the right optimum under every
+   pricing rule on both backends, and the Bland anti-cycling fallback must
+   demonstrably engage when the degenerate-pivot budget is exhausted. *)
+
+let cycling_fixtures = [ ("beale.lp", -0.05); ("kuhn_cycle.lp", -2.0) ]
+
+let test_cycling_terminates_all_rules () =
+  List.iter
+    (fun (name, want) ->
+      let std = load_fixture name in
+      List.iter
+        (fun pricing ->
+          List.iter
+            (fun backend ->
+              match Simplex.solve ~pricing ~backend std with
+              | Simplex.Optimal { obj; x; _ } ->
+                Alcotest.(check (float 1e-6)) (name ^ " objective") want obj;
+                Alcotest.(check bool) (name ^ " solution feasible") true (feasible std x)
+              | _ -> Alcotest.failf "%s: expected optimal" name)
+            [ Basis.Lu; Basis.Dense ])
+        [ Simplex.Dantzig; Simplex.Partial; Simplex.Devex ])
+    cycling_fixtures
+
+let test_bland_fallback_triggers () =
+  (* both fixtures start degenerate at the origin, so with a zero
+     degenerate-pivot budget the very first degenerate pivot flips the
+     solve into Bland mode — observable through [bland_iterations] — and
+     the answer must not change *)
+  let hits = ref 0 in
+  List.iter
+    (fun (name, want) ->
+      let std = load_fixture name in
+      List.iter
+        (fun pricing ->
+          match Simplex.solve ~pricing ~degen_limit:0 std with
+          | Simplex.Optimal { obj; bland_iterations; _ } ->
+            Alcotest.(check (float 1e-6)) (name ^ " objective under bland") want obj;
+            if bland_iterations > 0 then incr hits
+          | _ -> Alcotest.failf "%s: expected optimal under degen_limit:0" name)
+        [ Simplex.Dantzig; Simplex.Partial; Simplex.Devex ])
+    cycling_fixtures;
+  Alcotest.(check bool)
+    (Printf.sprintf "bland fallback engaged (%d solves)" !hits)
+    true (!hits > 0)
 
 let test_golden_corpus_complete () =
   (* every committed fixture must appear in the expectation table *)
@@ -574,6 +632,12 @@ let suite =
     Alcotest.test_case "golden corpus (LU backend)" `Quick test_golden_lu;
     Alcotest.test_case "golden corpus (dense backend)" `Quick test_golden_dense;
     Alcotest.test_case "golden corpus covers all fixtures" `Quick test_golden_corpus_complete;
+    Alcotest.test_case "golden corpus under all pricing rules" `Quick
+      test_golden_pricing_rules;
+    Alcotest.test_case "cycling fixtures terminate under all rules" `Quick
+      test_cycling_terminates_all_rules;
+    Alcotest.test_case "bland anti-cycling fallback triggers" `Quick
+      test_bland_fallback_triggers;
     QCheck_alcotest.to_alcotest prop_lp_round_trip_preserves_optimum;
     QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
     QCheck_alcotest.to_alcotest prop_lp_no_worse_than_feasible_point;

@@ -161,6 +161,83 @@ let prop_simplex_survives_bad_scaling =
       | Simplex.Unbounded -> true
       | Simplex.Infeasible _ | Simplex.Iteration_limit _ -> false)
 
+(* ---------- Devex pricing invariants ---------- *)
+
+(* Feasible-by-construction bounded random LP: finite boxes and rows
+   anchored on an interior point, so every solve is Optimal and the Devex
+   machinery actually pivots. *)
+let random_bounded_lp seed =
+  let module R = Ras_stats.Rng in
+  let rng = R.create seed in
+  let n = 3 + R.int rng 10 in
+  let mrows = 2 + R.int rng 8 in
+  let m = Model.create () in
+  let lbs = Array.make n 0.0 and ubs = Array.make n 0.0 in
+  let vars =
+    Array.init n (fun j ->
+        let lo = R.float rng 10.0 -. 5.0 in
+        let hi = lo +. 1.0 +. R.float rng 9.0 in
+        lbs.(j) <- lo;
+        ubs.(j) <- hi;
+        Model.add_var ~lb:lo ~ub:hi m)
+  in
+  let point = Array.init n (fun j -> lbs.(j) +. R.float rng (ubs.(j) -. lbs.(j))) in
+  for _ = 1 to mrows do
+    let k = 1 + R.int rng (min 6 n) in
+    let picked = Array.init n (fun i -> i) in
+    R.shuffle rng picked;
+    let terms =
+      List.init k (fun t ->
+          ((1.0 +. R.float rng 4.0) *. (if R.bool rng then 1.0 else -1.0), picked.(t)))
+    in
+    let at_point = List.fold_left (fun acc (c, j) -> acc +. (c *. point.(j))) 0.0 terms in
+    let e = Lin_expr.of_terms (List.map (fun (c, j) -> (c, vars.(j))) terms) in
+    let sense, rhs =
+      match R.int rng 5 with
+      | 0 -> (Model.Eq, at_point)
+      | 1 | 2 -> (Model.Le, at_point +. R.float rng 5.0)
+      | _ -> (Model.Ge, at_point -. R.float rng 5.0)
+    in
+    ignore (Model.add_constraint m e sense rhs)
+  done;
+  Model.set_objective m
+    (Lin_expr.of_terms (List.init n (fun j -> (R.float rng 10.0 -. 5.0, vars.(j)))));
+  Model.compile m
+
+(* Reference-framework weights start at 1 and only ever grow through
+   max-updates, so the minimum over all columns must stay >= 1 after every
+   single pivot — checked via the solver's trace hook. *)
+let prop_devex_weights_ge_one =
+  QCheck.Test.make ~name:"devex weights stay >= 1 after every pivot" ~count:100 QCheck.int
+    (fun seed ->
+      let std = random_bounded_lp seed in
+      let ok = ref true and pivots = ref 0 in
+      let trace ~iteration:_ ~min_devex_weight =
+        incr pivots;
+        if min_devex_weight < 1.0 then ok := false
+      in
+      match Simplex.solve ~pricing:Simplex.Devex ~trace std with
+      | Simplex.Optimal _ -> !ok
+      | _ -> false)
+
+(* A framework reset mid-solve restarts the weights from a different basis
+   but must not change what the solver converges to: same objective, and on
+   these continuously-random (tie-free) instances the same optimal basis. *)
+let prop_devex_reset_equivalence =
+  QCheck.Test.make ~name:"devex mid-solve weight reset preserves the answer" ~count:100
+    QCheck.int (fun seed ->
+      let std = random_bounded_lp seed in
+      let plain = Simplex.solve ~pricing:Simplex.Devex std in
+      let reset = Simplex.solve ~pricing:Simplex.Devex ~devex_reset_period:3 std in
+      match (plain, reset) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+        let same_basis =
+          let sorted w = List.sort compare (Array.to_list w.Simplex.wcols) in
+          sorted a.basis = sorted b.basis
+        in
+        Float.abs (a.obj -. b.obj) <= 1e-6 *. (1.0 +. Float.abs a.obj) && same_basis
+      | _ -> false)
+
 (* ---------- whole-system determinism ---------- *)
 
 let run_system () =
@@ -212,5 +289,7 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_concretize_realizes_random_counts;
     QCheck_alcotest.to_alcotest prop_simplex_survives_bad_scaling;
+    QCheck_alcotest.to_alcotest prop_devex_weights_ge_one;
+    QCheck_alcotest.to_alcotest prop_devex_reset_equivalence;
     Alcotest.test_case "system runs are deterministic" `Slow test_system_deterministic;
   ]

@@ -43,7 +43,7 @@ let cold_options =
   {
     Branch_bound.default_options with
     Branch_bound.warm_start = false;
-    lp_partial_pricing = false;
+    lp_pricing = Simplex.Dantzig;
   }
 
 (* ---------- equivalence: warm-started B&B = cold-started B&B ---------- *)
@@ -167,6 +167,7 @@ let test_stale_basis_falls_back () =
       Simplex.wcols = Array.make (Array.length first.basis.Simplex.wcols) 0;
       wstatus = first.basis.Simplex.wstatus;
       wfac = None;
+      wdevex = None;
     }
   in
   let out = solve_exn ~basis:bogus std in
