@@ -10,6 +10,7 @@ type params = {
   run_phase2 : bool;
   phase2_fraction : float;
   phase2_var_cap : int;
+  decompose : int option;
 }
 
 let default_params =
@@ -21,6 +22,7 @@ let default_params =
     run_phase2 = true;
     phase2_fraction = 0.1;
     phase2_var_cap = 6000;
+    decompose = None;
   }
 
 type stats = {
@@ -39,6 +41,7 @@ type stats = {
   solver_dual_restarts : int;
   solver_dual_pivots : int;
   solver_bland_pivots : int;
+  decompose : Ras_mip.Decompose.stats option;
 }
 
 let owner_of_res res =
@@ -87,9 +90,11 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
   let start = Unix.gettimeofday () in
   let reservations = snapshot.Snapshot.reservations in
   let phase1 =
+    (* decomposition applies to phase 1 only: phase 2 re-solves a small,
+       rack-scoped slice where the split overhead cannot pay off *)
     Phases.run ~params:params.formulation ~mip_time_limit:params.phase1_time_limit_s
-      ~mip_node_limit:params.node_limit ~rack_level:false ?include_server snapshot
-      reservations
+      ~mip_node_limit:params.node_limit ~rack_level:false ?include_server
+      ?decompose:params.decompose snapshot reservations
   in
   let assignment1 = Formulation.decode phase1.Phases.formulation phase1.Phases.solution in
   let plan1 = Concretize.plan phase1.Phases.formulation assignment1 in
@@ -221,4 +226,5 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
     solver_dual_restarts = sum (fun o -> o.Branch_bound.dual_restarted_nodes);
     solver_dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
     solver_bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
+    decompose = phase1.Phases.decompose;
   }

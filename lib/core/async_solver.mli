@@ -16,6 +16,12 @@ type params = {
   run_phase2 : bool;
   phase2_fraction : float;  (** reservations refined in phase 2 *)
   phase2_var_cap : int;  (** grouped assignment-variable cap for phase 2 *)
+  decompose : int option;
+      (** [Some k] with [k > 1] solves phase 1 POP-decomposed into [k]
+          concurrent subproblems (see {!Ras_mip.Decompose}); [None] (the
+          default) keeps the monolithic solve.  Phase 2 is never
+          decomposed — its rack-scoped slice is too small to pay the split
+          overhead. *)
 }
 
 val default_params : params
@@ -46,6 +52,9 @@ type stats = {
   solver_bland_pivots : int;
       (** primal pivots taken under the Bland anti-cycling fallback across
           both phases — nonzero flags degenerate stalls in the node LPs *)
+  decompose : Ras_mip.Decompose.stats option;
+      (** phase-1 decomposition statistics when [params.decompose] was
+          active (mirrors [phase1.decompose]) *)
 }
 
 val solve :

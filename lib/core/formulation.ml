@@ -677,3 +677,41 @@ let movement_units t solution ~in_use =
       end
       else acc)
     0.0 t.pairs
+
+(* POP-style variable partitioning for Ras_mip.Decompose: reservations are
+   dealt round-robin across partitions in decreasing capacity order (so each
+   partition gets a comparable slice of demand), every assignment / slack /
+   buffer variable follows its reservation, and auxiliary variables follow
+   the first variable their defining expressions reference — aux_defs is in
+   ascending variable order, so that variable is always placed already. *)
+let partition_vars t ~parts =
+  if parts < 1 then invalid_arg "Formulation.partition_vars: parts must be >= 1";
+  let n = Model.num_vars t.model in
+  let assign = Array.make n 0 in
+  let res_part = Hashtbl.create 32 in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare b.Reservation.capacity_rru a.Reservation.capacity_rru with
+        | 0 -> compare a.Reservation.id b.Reservation.id
+        | c -> c)
+      t.reservations
+  in
+  List.iteri (fun i res -> Hashtbl.replace res_part res.Reservation.id (i mod parts)) sorted;
+  let part_of_res rid = match Hashtbl.find_opt res_part rid with Some p -> p | None -> 0 in
+  List.iter (fun p -> assign.(p.var) <- part_of_res p.res.Reservation.id) t.pairs;
+  List.iter (fun (rid, v) -> assign.(v) <- part_of_res rid) t.capacity_slack;
+  List.iter (fun (rid, v) -> assign.(v) <- part_of_res rid) t.buffer_var;
+  List.iter
+    (fun (v, exprs) ->
+      let found = ref None in
+      List.iter
+        (fun e ->
+          if !found = None then
+            List.iter
+              (fun (_, u) -> if !found = None && u < v then found := Some assign.(u))
+              (Lin.terms e))
+        exprs;
+      assign.(v) <- (match !found with Some p -> p | None -> 0))
+    t.aux_defs;
+  assign

@@ -1,0 +1,71 @@
+(** POP-style decomposition of a compiled model into [k] independently
+    solvable subproblems (Narayanan et al., "Solving large-scale granular
+    resource allocation problems efficiently with POP", SOSP 2021 — the
+    approach RAS cites for scaling region-wide allocation).
+
+    Variables are assigned to partitions by the caller ([var_part]).  Rows
+    whose variables live in a single partition are copied verbatim into that
+    subproblem.  Rows that straddle partitions — the coupled region-wide
+    capacity rows — are split: each partition gets the row restricted to its
+    own variables, with the right-hand side scaled by the partition's share
+    of the row's variables (exactly [1/k] when the partition sizes are
+    balanced).  Shares sum to 1, so when every subproblem satisfies its
+    scaled copy the merged solution satisfies the original row regardless of
+    sense.
+
+    Subproblems are solved concurrently on a {!Solver_pool}; the merged
+    solution then runs through a bounded greedy repair pass for any coupled
+    row a sub-solver left violated (e.g. because a subproblem stopped at a
+    limit), and is validated with {!Model.check_solution}. *)
+
+type part_stat = {
+  part : int;
+  vars : int;
+  rows : int;  (** rows in the subproblem, counting scaled coupled copies *)
+  objective : float;  (** subproblem incumbent objective; [infinity] if none *)
+  status : Branch_bound.status;
+  nodes : int;
+  lp_iterations : int;
+  wall_s : float;
+}
+
+type stats = {
+  parts : part_stat array;  (** indexed by partition, deterministic order *)
+  coupled_rows : int;  (** rows that straddled >= 2 partitions *)
+  merge_repairs : int;  (** greedy repair moves applied after merging *)
+  unresolved_rows : int;  (** coupled rows still violated after repair *)
+  wall_s : float;  (** end-to-end wall clock including merge and repair *)
+}
+
+type result = { outcome : Branch_bound.outcome; stats : stats }
+
+val split :
+  num_parts:int -> var_part:(int -> int) -> Model.std ->
+  (Model.std * int array) array
+(** [split ~num_parts ~var_part std] builds the subproblem models.  Each
+    element is [(sub_std, to_full)] where [to_full.(j)] is the original
+    index of the sub's variable [j].  [var_part v] must return a partition
+    in [\[0, num_parts)].  Rows with no variables go to partition 0; empty
+    partitions are dropped.  Raises [Invalid_argument] when [num_parts < 1]
+    or [var_part] returns an out-of-range partition. *)
+
+val solve :
+  ?options:Branch_bound.options ->
+  ?pool:Solver_pool.t ->
+  ?max_repair_moves:int ->
+  num_parts:int ->
+  var_part:(int -> int) ->
+  Model.std ->
+  result
+(** Splits, solves the subproblems concurrently (on [pool] when given, else
+    on a transient pool sized [min num_parts recommended_domain_count]),
+    merges, repairs and validates.  [options] applies to every subproblem;
+    [options.initial] is projected onto each sub (invalid projections are
+    ignored by {!Branch_bound.solve} itself).
+
+    The outcome's [solution]/[objective] describe the merged full-model
+    solution when it validates ([status = Feasible]); otherwise [status =
+    Unknown] with no solution.  [best_bound] is [neg_infinity] and [gap]
+    [infinity]: subproblem bounds do not compose into a monolith bound
+    (callers wanting one should use the monolith LP relaxation).  Node and
+    pivot counters are summed across subproblems. *)

@@ -73,15 +73,26 @@ let parse text =
         | toks -> (
           match !section with
           | Bounds -> (
+            (* A name may appear on several Bounds lines; it must enter
+               [var_order] exactly once (a duplicate would skew every later
+               variable's index), and repeated declarations intersect. *)
+            let add_bound name lo hi =
+              (match Hashtbl.find_opt var_bounds name with
+              | None ->
+                var_order := name :: !var_order;
+                Hashtbl.replace var_bounds name (lo, hi)
+              | Some (lo0, hi0) ->
+                Hashtbl.replace var_bounds name (Float.max lo0 lo, Float.min hi0 hi));
+              let lo, hi = Hashtbl.find var_bounds name in
+              if lo > hi then
+                fail line (Printf.sprintf "contradictory bounds for %s" name)
+            in
             match toks with
             | [ name; "="; v ] ->
               let v = float_of_token line v in
-              var_order := name :: !var_order;
-              Hashtbl.replace var_bounds name (v, v)
+              add_bound name v v
             | [ lo; "<="; name; "<="; hi ] ->
-              var_order := name :: !var_order;
-              Hashtbl.replace var_bounds name
-                (float_of_token line lo, float_of_token line hi)
+              add_bound name (float_of_token line lo) (float_of_token line hi)
             | _ -> fail line "malformed bound")
           | General -> (
             match toks with
@@ -151,7 +162,11 @@ let parse text =
         let lb, ub = Hashtbl.find var_bounds name in
         let kind = if Hashtbl.mem integers name then Model.Integer else Model.Continuous in
         let v = Model.add_var ~name ~lb ~ub ~kind m in
-        assert (v = i))
+        if v <> i then
+          raise
+            (Parse_error
+               (Printf.sprintf "internal: variable order corrupted at %s (index %d, expected %d)"
+                  name v i)))
       names;
     Array.iter
       (fun r ->

@@ -97,10 +97,16 @@ let run (std : Model.std) =
   let activity_bounds r =
     List.fold_left
       (fun (lo, hi) (j, c) ->
-        let term_lo, term_hi =
-          if c >= 0.0 then (c *. lb.(j), c *. ub.(j)) else (c *. ub.(j), c *. lb.(j))
-        in
-        (lo +. term_lo, hi +. term_hi))
+        (* a (near-)zero coefficient contributes nothing — and multiplying
+           it against an infinite bound would poison both accumulators with
+           NaN, silently disabling redundancy/infeasibility detection for
+           the whole row *)
+        if Float.abs c <= tol then (lo, hi)
+        else
+          let term_lo, term_hi =
+            if c >= 0.0 then (c *. lb.(j), c *. ub.(j)) else (c *. ub.(j), c *. lb.(j))
+          in
+          (lo +. term_lo, hi +. term_hi))
       (0.0, 0.0) r.terms
   in
   let dropped = ref 0 in

@@ -1,0 +1,120 @@
+type t = {
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  have_work : Condition.t;
+  mutable quit : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      match Queue.take_opt pool.jobs with
+      | Some job ->
+        Mutex.unlock pool.mutex;
+        job ();
+        next ()
+      | None ->
+        if pool.quit then Mutex.unlock pool.mutex
+        else begin
+          Condition.wait pool.have_work pool.mutex;
+          wait ()
+        end
+    in
+    wait ()
+  in
+  next ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n ->
+      if n < 1 then invalid_arg "Solver_pool.create: domains must be >= 1";
+      n
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      quit = false;
+      workers = [||];
+      size;
+    }
+  in
+  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size t = t.size
+
+let map t f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let first_error = Atomic.make None in
+    let done_mutex = Mutex.create () and all_done = Condition.create () in
+    let run_one i =
+      (try results.(i) <- Some (f inputs.(i))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last job out wakes the caller, which may already be waiting *)
+        Mutex.lock done_mutex;
+        Condition.broadcast all_done;
+        Mutex.unlock done_mutex
+      end
+    in
+    if Array.length t.workers = 0 then
+      for i = 0 to n - 1 do
+        run_one i
+      done
+    else begin
+      Mutex.lock t.mutex;
+      for i = 1 to n - 1 do
+        Queue.add (fun () -> run_one i) t.jobs
+      done;
+      Condition.broadcast t.have_work;
+      Mutex.unlock t.mutex;
+      run_one 0;
+      (* help drain the shared queue instead of blocking immediately *)
+      let rec help () =
+        Mutex.lock t.mutex;
+        match Queue.take_opt t.jobs with
+        | Some job ->
+          Mutex.unlock t.mutex;
+          job ();
+          help ()
+        | None -> Mutex.unlock t.mutex
+      in
+      help ();
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex
+    end;
+    (match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (fun r -> match r with Some v -> v | None -> assert false)
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_quit = t.quit in
+  t.quit <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.mutex;
+  if not was_quit then Array.iter Domain.join t.workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,37 @@
+(** Fixed-size pool of OCaml 5 domains for solving independent subproblems
+    concurrently.
+
+    Built directly on [Domain], [Mutex] and [Condition] from the standard
+    library — no external dependency.  A pool of size [n] owns [n - 1]
+    worker domains; the caller's domain is the [n]-th worker, so [map] on a
+    pool of size 1 degenerates to an ordinary sequential [Array.map] with no
+    domain ever spawned.
+
+    The pool exists for {!Decompose}, which solves the k partitioned MIPs of
+    a POP-style split in parallel, but is generic: jobs are arbitrary
+    closures.  Jobs must not themselves call {!map} on the same pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns [domains - 1] worker domains (default
+    [Domain.recommended_domain_count ()], clamped to at least 1).  Raises
+    [Invalid_argument] if [domains < 1]. *)
+
+val size : t -> int
+(** Number of concurrent executors ([domains], counting the caller). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f inputs] applies [f] to every element, running jobs on the
+    pool's domains plus the calling domain, and returns results in input
+    order (deterministic regardless of scheduling).  If any job raises, the
+    first exception (by completion time) is re-raised in the caller after
+    all jobs finish or are drained.  Must not be called concurrently from
+    two domains on the same pool. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a transient pool, guaranteeing shutdown. *)

@@ -2,11 +2,13 @@ type t = {
   mutable data : float array;
   mutable len : int;
   mutable sum : float;
-  mutable sum_sq : float;
+  mutable run_mean : float;  (* Welford running mean *)
+  mutable m2 : float;  (* Welford sum of squared deviations from the mean *)
   mutable sorted : bool;
 }
 
-let create () = { data = Array.make 16 0.0; len = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+let create () =
+  { data = Array.make 16 0.0; len = 0; sum = 0.0; run_mean = 0.0; m2 = 0.0; sorted = true }
 
 let add t x =
   if t.len = Array.length t.data then begin
@@ -17,7 +19,11 @@ let add t x =
   t.data.(t.len) <- x;
   t.len <- t.len + 1;
   t.sum <- t.sum +. x;
-  t.sum_sq <- t.sum_sq +. (x *. x);
+  (* Welford's update: immune to the catastrophic cancellation that the
+     naive E[x^2] - E[x]^2 formula suffers on large-offset samples *)
+  let delta = x -. t.run_mean in
+  t.run_mean <- t.run_mean +. (delta /. float_of_int t.len);
+  t.m2 <- t.m2 +. (delta *. (x -. t.run_mean));
   t.sorted <- false
 
 let add_list t xs = List.iter (add t) xs
@@ -26,20 +32,16 @@ let count t = t.len
 
 let total t = t.sum
 
-let mean t = if t.len = 0 then nan else t.sum /. float_of_int t.len
+let mean t = if t.len = 0 then nan else t.run_mean
 
-let variance t =
-  if t.len = 0 then nan
-  else
-    let m = mean t in
-    (t.sum_sq /. float_of_int t.len) -. (m *. m)
+let variance t = if t.len = 0 then nan else t.m2 /. float_of_int t.len
 
 let stddev t = sqrt (max 0.0 (variance t))
 
 let ensure_sorted t =
   if not t.sorted then begin
     let live = Array.sub t.data 0 t.len in
-    Array.sort compare live;
+    Array.sort Float.compare live;
     Array.blit live 0 t.data 0 t.len;
     t.sorted <- true
   end

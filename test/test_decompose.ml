@@ -1,0 +1,211 @@
+(* Tests for the POP-style decomposition layer: the Solver_pool domain pool,
+   Decompose.split/solve invariants, and the Phases/Async_solver wiring. *)
+
+open Ras
+module Broker = Ras_broker.Broker
+module Generator = Ras_topology.Generator
+module Service = Ras_workload.Service
+module Model = Ras_mip.Model
+module Lin_expr = Ras_mip.Lin_expr
+module Branch_bound = Ras_mip.Branch_bound
+module Decompose = Ras_mip.Decompose
+module Solver_pool = Ras_mip.Solver_pool
+
+(* ---------- Solver_pool ---------- *)
+
+let test_pool_map_deterministic () =
+  Solver_pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check int) "size" 2 (Solver_pool.size pool);
+      let inputs = Array.init 20 Fun.id in
+      let expected = Array.map (fun i -> i * i) inputs in
+      let got = Solver_pool.map pool (fun i -> i * i) inputs in
+      Alcotest.(check (array int)) "results in input order" expected got;
+      (* the pool is reusable across map calls *)
+      let got2 = Solver_pool.map pool (fun i -> i + 1) inputs in
+      Alcotest.(check (array int)) "second map" (Array.map succ inputs) got2)
+
+let test_pool_map_sequential_fallback () =
+  (* a pool of size 1 never spawns a domain: map runs inline *)
+  Solver_pool.with_pool ~domains:1 (fun pool ->
+      let got = Solver_pool.map pool string_of_int [| 1; 2; 3 |] in
+      Alcotest.(check (array string)) "inline map" [| "1"; "2"; "3" |] got)
+
+let test_pool_map_empty_and_errors () =
+  Solver_pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (array int)) "empty input" [||]
+        (Solver_pool.map pool (fun i -> i) [||]);
+      (* one failing job: the exception reaches the caller after the batch
+         drains, and the pool remains usable *)
+      (match Solver_pool.map pool (fun i -> if i = 3 then failwith "boom" else i)
+               [| 1; 2; 3; 4 |]
+       with
+      | _ -> Alcotest.fail "expected the job's exception to propagate"
+      | exception Failure msg -> Alcotest.(check string) "first error" "boom" msg);
+      let got = Solver_pool.map pool (fun i -> i * 2) [| 1; 2 |] in
+      Alcotest.(check (array int)) "pool survives a failed batch" [| 2; 4 |] got)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Solver_pool.create ~domains:2 () in
+  ignore (Solver_pool.map pool Fun.id [| 1 |]);
+  Solver_pool.shutdown pool;
+  Solver_pool.shutdown pool;
+  Alcotest.(check bool) "rejects bad size" true
+    (try
+       ignore (Solver_pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Decompose.split ---------- *)
+
+(* 4 integer vars in [0, 5]; a coupled row over all of them, plus one
+   single-partition row per half.  Minimizing -sum pushes everything up
+   against the coupled capacity. *)
+let coupled_std () =
+  let m = Model.create () in
+  let vars =
+    Array.init 4 (fun i ->
+        Model.add_var ~name:(Printf.sprintf "x%d" i) ~ub:5.0 ~kind:Model.Integer m)
+  in
+  let all = Lin_expr.of_terms (Array.to_list (Array.map (fun v -> (1.0, v)) vars)) in
+  let _ = Model.add_constraint ~name:"cap" m all Model.Le 10.0 in
+  let _ =
+    Model.add_constraint ~name:"left" m
+      (Lin_expr.of_terms [ (1.0, vars.(0)); (1.0, vars.(1)) ])
+      Model.Le 8.0
+  in
+  let _ =
+    Model.add_constraint ~name:"right" m
+      (Lin_expr.of_terms [ (1.0, vars.(2)); (1.0, vars.(3)) ])
+      Model.Le 8.0
+  in
+  Model.set_objective m
+    (Lin_expr.of_terms (Array.to_list (Array.map (fun v -> (-1.0, v)) vars)));
+  Model.compile m
+
+let var_part_halves v = if v < 2 then 0 else 1
+
+let test_split_invariants () =
+  let std = coupled_std () in
+  let subs = Decompose.split ~num_parts:2 ~var_part:var_part_halves std in
+  Alcotest.(check int) "two subproblems" 2 (Array.length subs);
+  (* every original variable appears in exactly one sub *)
+  let seen = Array.make std.Model.nvars 0 in
+  Array.iter
+    (fun (_, to_full) -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) to_full)
+    subs;
+  Alcotest.(check (array int)) "partition of the variables" [| 1; 1; 1; 1 |] seen;
+  (* the coupled row's scaled copies sum back to the original rhs, and each
+     sub also keeps its own single-partition row verbatim *)
+  let scaled_total = ref 0.0 in
+  Array.iter
+    (fun (sub, _) ->
+      Alcotest.(check int) "rows per sub" 2 sub.Model.nrows;
+      for i = 0 to sub.Model.nrows - 1 do
+        let name = sub.Model.row_names.(i) in
+        if String.length name >= 4 && String.sub name 0 4 = "cap#" then
+          scaled_total := !scaled_total +. sub.Model.rhs.(i)
+        else Alcotest.(check (float 1e-9)) "verbatim rhs" 8.0 sub.Model.rhs.(i)
+      done)
+    subs;
+  Alcotest.(check (float 1e-9)) "shares sum to the coupled rhs" 10.0 !scaled_total;
+  Alcotest.(check bool) "rejects bad partition" true
+    (try
+       ignore (Decompose.split ~num_parts:2 ~var_part:(fun _ -> 5) std);
+       false
+     with Invalid_argument _ -> true)
+
+let test_decompose_solves_separable_optimum () =
+  let std = coupled_std () in
+  let r = Decompose.solve ~num_parts:2 ~var_part:var_part_halves std in
+  (match r.Decompose.outcome.Branch_bound.status with
+  | Branch_bound.Feasible -> ()
+  | _ -> Alcotest.fail "expected a feasible merged solution");
+  (match r.Decompose.outcome.Branch_bound.solution with
+  | Some x -> (
+    match Model.check_solution std x with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "merged solution invalid: %s" msg)
+  | None -> Alcotest.fail "no merged solution");
+  (* balanced halves: each sub fills its 1/2-scaled capacity exactly, so the
+     merge hits the monolith optimum *)
+  Alcotest.(check (float 1e-6)) "objective" (-10.0) r.Decompose.outcome.Branch_bound.objective;
+  Alcotest.(check int) "one coupled row" 1 r.Decompose.stats.Decompose.coupled_rows;
+  Alcotest.(check int) "both parts reported" 2 (Array.length r.Decompose.stats.Decompose.parts);
+  Array.iter
+    (fun p -> Alcotest.(check (float 1e-6)) "per-part objective" (-5.0) p.Decompose.objective)
+    r.Decompose.stats.Decompose.parts
+
+let test_decompose_deterministic () =
+  let std = coupled_std () in
+  let solve () =
+    let r = Decompose.solve ~num_parts:2 ~var_part:var_part_halves std in
+    match r.Decompose.outcome.Branch_bound.solution with
+    | Some x -> Array.copy x
+    | None -> [||]
+  in
+  let a = solve () and b = solve () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+(* ---------- RAS scenario through Phases / Async_solver / Explain ---------- *)
+
+let test_async_solver_decomposed () =
+  let region = Generator.generate Generator.small_params in
+  let broker = Broker.create region in
+  let rng = Ras_stats.Rng.create 23 in
+  let requests =
+    Ras_workload.Request_gen.scenario rng ~region ~services:Service.default_catalog
+      ~target_utilization:0.4
+  in
+  let reservations = List.map Reservation.of_request requests in
+  let snapshot = Snapshot.take broker reservations in
+  let params =
+    {
+      Async_solver.default_params with
+      Async_solver.node_limit = 40;
+      decompose = Some 4;
+      run_phase2 = false;
+    }
+  in
+  let stats = Async_solver.solve ~params snapshot in
+  (match stats.Async_solver.decompose with
+  | None -> Alcotest.fail "decomposition stats missing"
+  | Some d ->
+    Alcotest.(check bool) "at least 2 partitions" true
+      (Array.length d.Ras_mip.Decompose.parts >= 2);
+    Alcotest.(check bool) "no unresolved rows after repair" true
+      (d.Ras_mip.Decompose.unresolved_rows >= 0));
+  let p1 = stats.Async_solver.phase1 in
+  (match p1.Phases.outcome.Branch_bound.status with
+  | Branch_bound.Feasible | Branch_bound.Optimal -> ()
+  | _ -> Alcotest.fail "decomposed phase 1 must keep a feasible incumbent");
+  (match Model.check_solution p1.Phases.compiled p1.Phases.solution with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "phase-1 solution invalid: %s" msg);
+  (* the partition map covers every model variable with a valid partition *)
+  let part = Formulation.partition_vars p1.Phases.formulation ~parts:4 in
+  Alcotest.(check int) "partition map covers the model" p1.Phases.compiled.Model.nvars
+    (Array.length part);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "partition in range" true (p >= 0 && p < 4))
+    part;
+  let report = Explain.solve_report stats in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "report mentions the decomposition" true
+    (contains ~sub:"decomposition:" report)
+
+let suite =
+  [
+    Alcotest.test_case "pool map order + reuse" `Quick test_pool_map_deterministic;
+    Alcotest.test_case "pool size-1 inline" `Quick test_pool_map_sequential_fallback;
+    Alcotest.test_case "pool empty + error propagation" `Quick test_pool_map_empty_and_errors;
+    Alcotest.test_case "pool shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+    Alcotest.test_case "split invariants" `Quick test_split_invariants;
+    Alcotest.test_case "separable optimum recovered" `Quick
+      test_decompose_solves_separable_optimum;
+    Alcotest.test_case "decompose deterministic" `Quick test_decompose_deterministic;
+    Alcotest.test_case "async solver decomposed" `Quick test_async_solver_decomposed;
+  ]

@@ -11,6 +11,7 @@ let suites =
     ("mip", Test_mip.suite);
     ("basis", Test_basis.suite);
     ("differential", Test_differential.suite);
+    ("decompose", Test_decompose.suite);
     ("warmstart", Test_warmstart.suite);
     ("presolve", Test_presolve.suite);
     ("topology", Test_topology.suite);

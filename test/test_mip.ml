@@ -307,6 +307,24 @@ let test_lp_parse_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "row without comparison must be rejected"
 
+let test_lp_parse_duplicate_bounds () =
+  (* duplicates intersect rather than registering the variable twice *)
+  (match
+     Lp_parse.parse
+       "Minimize\n obj: 1 x\nSubject To\n r: 1 x >= 0\nBounds\n 0 <= x <= 10\n 2 <= x <= 5\nEnd\n"
+   with
+  | Ok std ->
+    Alcotest.(check int) "one variable" 1 std.Model.nvars;
+    Alcotest.(check (float 1e-9)) "lb intersected" 2.0 std.Model.lb.(0);
+    Alcotest.(check (float 1e-9)) "ub intersected" 5.0 std.Model.ub.(0)
+  | Error e -> Alcotest.fail e);
+  match
+    Lp_parse.parse
+      "Minimize\n obj: 1 x\nSubject To\n r: 1 x >= 0\nBounds\n 0 <= x <= 1\n 3 <= x <= 5\nEnd\n"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "contradictory duplicate bounds must be rejected"
+
 let prop_lp_round_trip_preserves_optimum =
   QCheck.Test.make ~name:"LP write/parse preserves the optimum" ~count:150 QCheck.int
     (fun seed ->
@@ -479,6 +497,10 @@ type golden_expect =
 let golden_fixtures =
   [
     ("basic.lp", Lp_opt (-5.0));
+    (* x is bounded twice ([0,10] then [2,5]); the declarations intersect
+       and x keeps a single variable index (the duplicate used to skew every
+       later index and trip an assert) *)
+    ("dup_bound.lp", Lp_opt 4.0);
     ("beale.lp", Lp_opt (-0.05));
     ("kuhn_cycle.lp", Lp_opt (-2.0));
     ("degenerate.lp", Lp_opt (-2.0));
@@ -629,6 +651,7 @@ let suite =
     Alcotest.test_case "mps sections" `Quick test_mps_sections;
     Alcotest.test_case "lp parse round trip" `Quick test_lp_round_trip;
     Alcotest.test_case "lp parse rejects garbage" `Quick test_lp_parse_rejects_garbage;
+    Alcotest.test_case "lp parse duplicate bounds" `Quick test_lp_parse_duplicate_bounds;
     Alcotest.test_case "golden corpus (LU backend)" `Quick test_golden_lu;
     Alcotest.test_case "golden corpus (dense backend)" `Quick test_golden_dense;
     Alcotest.test_case "golden corpus covers all fixtures" `Quick test_golden_corpus_complete;

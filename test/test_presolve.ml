@@ -90,6 +90,36 @@ let test_redundant_row_dropped () =
     Alcotest.(check int) "empty model" 0 reduced.Model.nrows
   | Presolve.Proven_infeasible r -> Alcotest.fail r
 
+let test_zero_coef_on_free_var () =
+  (* a zero coefficient multiplied against a free variable's infinite bound
+     used to poison the row's activity bounds with NaN, so neither redundancy
+     nor infeasibility was ever detected.  Model.compile filters exact zeros,
+     so forge one into the compiled std the way a numerically cancelled
+     coefficient would appear. *)
+  let forge_zero std f =
+    Array.iteri
+      (fun k j -> if j = f then std.Model.row_coefs.(0).(k) <- 0.0)
+      std.Model.row_cols.(0)
+  in
+  let build sense rhs m =
+    let f = Model.add_var ~name:"f" ~lb:neg_infinity ~ub:infinity m in
+    let y = Model.add_var ~name:"y" ~ub:1.0 m in
+    let _ = Model.add_constraint m Lin_expr.(add (var f) (var y)) sense rhs in
+    f
+  in
+  let std, f = compile_of (build Model.Le 100.0) in
+  forge_zero std f;
+  (match Presolve.run std with
+  | Presolve.Reduced { dropped_rows; _ } ->
+    Alcotest.(check int) "redundant row dropped despite 0 coef" 1 dropped_rows
+  | Presolve.Proven_infeasible r -> Alcotest.fail r);
+  (* with the zero skipped, 0*f + y >= 10 is provably unsatisfiable *)
+  let std, f = compile_of (build Model.Ge 10.0) in
+  forge_zero std f;
+  match Presolve.run std with
+  | Presolve.Proven_infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "unsatisfiable row not detected"
+
 let test_presolve_preserves_optimum () =
   (* knapsack solved with and without presolve must agree *)
   let build m =
@@ -212,6 +242,7 @@ let suite =
     Alcotest.test_case "infeasible integer window" `Quick test_infeasible_window_detected;
     Alcotest.test_case "infeasible row" `Quick test_infeasible_row_detected;
     Alcotest.test_case "redundant row dropped" `Quick test_redundant_row_dropped;
+    Alcotest.test_case "zero coef on free var" `Quick test_zero_coef_on_free_var;
     Alcotest.test_case "presolve preserves optimum" `Quick test_presolve_preserves_optimum;
     Alcotest.test_case "restore" `Quick test_restore;
     Alcotest.test_case "duals of binding constraint" `Quick test_duals_of_binding_constraint;

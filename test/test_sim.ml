@@ -50,6 +50,27 @@ let test_queue_stress_sorted () =
   in
   Alcotest.(check int) "all popped" 1000 (drain 0)
 
+let test_queue_pop_releases_payload () =
+  (* a popped entry must not stay reachable through the heap's backing
+     array — only weak pointers may still see it after a full major GC *)
+  let q = Event_queue.create () in
+  let w = Weak.create 3 in
+  for i = 0 to 2 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Event_queue.push q ~time:(float_of_int i) payload
+  done;
+  let drop () = match Event_queue.pop q with Some _ -> () | None -> () in
+  drop ();
+  drop ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload 0 collected" false (Weak.check w 0);
+  Alcotest.(check bool) "popped payload 1 collected" false (Weak.check w 1);
+  Alcotest.(check bool) "queued payload 2 still live" true (Weak.check w 2);
+  drop ();
+  Gc.full_major ();
+  Alcotest.(check bool) "drained payload collected" false (Weak.check w 2)
+
 let test_engine_runs_in_order () =
   let e = Engine.create () in
   let log = ref [] in
@@ -120,6 +141,7 @@ let suite =
     Alcotest.test_case "queue ordering" `Quick test_queue_ordering;
     Alcotest.test_case "queue fifo ties" `Quick test_queue_fifo_ties;
     Alcotest.test_case "queue stress sorted" `Quick test_queue_stress_sorted;
+    Alcotest.test_case "queue pop releases payload" `Quick test_queue_pop_releases_payload;
     Alcotest.test_case "engine order" `Quick test_engine_runs_in_order;
     Alcotest.test_case "engine horizon" `Quick test_engine_horizon_excludes_future;
     Alcotest.test_case "engine rejects past" `Quick test_engine_rejects_past;

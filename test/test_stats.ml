@@ -122,6 +122,16 @@ let test_summary_exact () =
   check_float "p50" 2.5 (Summary.percentile s 50.0);
   check_float "variance" 1.25 (Summary.variance s)
 
+let test_summary_variance_large_offset () =
+  (* samples clustered around 1e9: the naive E[x^2] - E[x]^2 formula loses
+     all significant digits here (and could even go negative); Welford's
+     update keeps the exact spread *)
+  let s = Summary.create () in
+  Summary.add_list s [ 1e9; 1e9 +. 1.0; 1e9 +. 2.0 ];
+  check_float "mean" (1e9 +. 1.0) (Summary.mean s);
+  check_float "variance" (2.0 /. 3.0) (Summary.variance s);
+  check_float "stddev" (sqrt (2.0 /. 3.0)) (Summary.stddev s)
+
 let test_summary_empty () =
   let s = Summary.create () in
   Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean s));
@@ -234,6 +244,8 @@ let suite =
     Alcotest.test_case "zipf rank 1 most common" `Quick test_zipf_rank_one_most_common;
     Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
     Alcotest.test_case "summary exact values" `Quick test_summary_exact;
+    Alcotest.test_case "summary variance large offset" `Quick
+      test_summary_variance_large_offset;
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "summary percentile bounds" `Quick test_summary_percentile_bounds;
     Alcotest.test_case "summary interleaved sort" `Quick test_summary_interleaved_sort;
