@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-quick check clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# quick-mode solver-kernel smoke (includes the continuous-loop
+# cold-vs-incremental rows); writes BENCH_kernels.json
+bench-quick:
+	dune exec bench/main.exe -- --quick kernels
 
 # build + tests + quick kernel-bench smoke; the pre-merge gate
 check:

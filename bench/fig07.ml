@@ -21,10 +21,7 @@ let run () =
   Report.heading "Figure 7: allocation time distribution"
     ~paper:"mean 1.8ks, p95 2.2ks, p99 2.45ks — tight, inside the 1h SLO"
     ~expect:"tight distribution (p95/mean < ~1.3, p99/mean < ~1.5) at our reduced scale";
-  let s = Summary.create () in
-  List.iter
-    (fun (r : Solver_runs.run) -> Summary.add s r.Solver_runs.stats.Ras.Async_solver.duration_s)
-    (runs ());
+  let s = Solver_runs.duration_summary (runs ()) in
   Report.summary "allocation time (s)" s;
   let mean = Summary.mean s in
   Report.row "p95/mean = %.2f   p99/mean = %.2f   (paper: %.2f and %.2f)\n"

@@ -21,6 +21,16 @@ let solver_totals runs =
         w + s.Ras.Async_solver.solver_warm_starts ))
     (0, 0, 0) runs
 
+(* Per-solve wall-time distribution — the aggregate counters above hide the
+   spread, which is the quantity Fig. 7 (and the continuous-loop kernel's
+   p50/p99 rows) actually report. *)
+let duration_summary runs =
+  let s = Ras_stats.Summary.create () in
+  List.iter
+    (fun r -> Ras_stats.Summary.add s r.stats.Ras.Async_solver.duration_s)
+    runs;
+  s
+
 let with_rack_limits requests =
   List.map
     (fun (r : Capacity_request.t) ->
@@ -29,7 +39,8 @@ let with_rack_limits requests =
       else r)
     requests
 
-let collect ?(preset = Scenarios.Small) ?(solver = Scenarios.interactive_solver) ~solves () =
+let collect ?(preset = Scenarios.Small) ?(solver = Scenarios.interactive_solver)
+    ?(churn = 0.01) ?(flip_prob = 0.7) ?incremental ~solves () =
   let region = Scenarios.region_of preset in
   let broker = Broker.create region in
   let rng = Ras_stats.Rng.create 2024 in
@@ -42,19 +53,27 @@ let collect ?(preset = Scenarios.Small) ?(solver = Scenarios.interactive_solver)
   Ras.Online_mover.set_reservations mover reservations;
   let runs = ref [] in
   for i = 0 to solves - 1 do
-    (* perturb the world: ~1% of servers fail for the duration of the solve,
-       and some servers flip their in-use bit (container churn) *)
+    (* perturb the world: a [churn] fraction of servers fail for the
+       duration of the solve, and some servers flip their in-use bit
+       (container churn) *)
     let n = Broker.num_servers broker in
-    let down = List.init (Stdlib.max 1 (n / 100)) (fun _ -> Ras_stats.Rng.int rng n) in
+    let down =
+      List.init
+        (Stdlib.max 1 (int_of_float (float_of_int n *. churn)))
+        (fun _ -> Ras_stats.Rng.int rng n)
+    in
     List.iter (fun id -> Broker.mark_down broker id Unavail.Unplanned_sw) down;
     Broker.iter broker ~f:(fun r ->
         match r.Broker.current with
         | Broker.Reservation _ ->
-          if Ras_stats.Rng.float rng 1.0 < 0.7 then
+          if Ras_stats.Rng.float rng 1.0 < flip_prob then
             Broker.set_in_use broker r.Broker.server.Region.id true
         | Broker.Free | Broker.Shared_buffer | Broker.Elastic _ -> ());
     let snapshot = Ras.Snapshot.take broker reservations in
-    let stats = Ras.Async_solver.solve ~params:solver snapshot in
+    (* [incremental] is the continuous loop's persistent cross-round solver
+       state: the same object is threaded through every round, so round i's
+       phase 1 warm-starts from round i-1's basis and incumbent *)
+    let stats = Ras.Async_solver.solve ~params:solver ?state:incremental snapshot in
     ignore (Ras.Online_mover.apply_plan mover stats.Ras.Async_solver.plan);
     List.iter (fun id -> Broker.mark_up broker id) down;
     runs := { stats; solve_index = i } :: !runs

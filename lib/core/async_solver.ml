@@ -7,6 +7,8 @@ type params = {
   phase1_time_limit_s : float;
   phase2_time_limit_s : float;
   node_limit : int;
+  mip_gap_rel : float;
+  mip_stall_nodes : int;
   run_phase2 : bool;
   phase2_fraction : float;
   phase2_var_cap : int;
@@ -19,6 +21,8 @@ let default_params =
     phase1_time_limit_s = 10.0;
     phase2_time_limit_s = 5.0;
     node_limit = 300;
+    mip_gap_rel = Branch_bound.default_options.Branch_bound.gap_rel;
+    mip_stall_nodes = 0;
     run_phase2 = true;
     phase2_fraction = 0.1;
     phase2_var_cap = 6000;
@@ -42,6 +46,7 @@ type stats = {
   solver_dual_pivots : int;
   solver_bland_pivots : int;
   decompose : Ras_mip.Decompose.stats option;
+  incremental : Solver_state.round_stats option;
 }
 
 let owner_of_res res =
@@ -86,15 +91,18 @@ let with_targets (snapshot : Snapshot.t) targets =
   in
   { snapshot with Snapshot.servers = servers }
 
-let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
+let solve ?(params = default_params) ?include_server ?state (snapshot : Snapshot.t) =
   let start = Unix.gettimeofday () in
   let reservations = snapshot.Snapshot.reservations in
   let phase1 =
-    (* decomposition applies to phase 1 only: phase 2 re-solves a small,
-       rack-scoped slice where the split overhead cannot pay off *)
+    (* decomposition and cross-round state apply to phase 1 only: phase 2
+       re-solves a small, rack-scoped slice with a per-round reservation
+       selection, so neither the split overhead nor the cached basis can
+       pay off there *)
     Phases.run ~params:params.formulation ~mip_time_limit:params.phase1_time_limit_s
-      ~mip_node_limit:params.node_limit ~rack_level:false ?include_server
-      ?decompose:params.decompose snapshot reservations
+      ~mip_node_limit:params.node_limit ~mip_gap_rel:params.mip_gap_rel
+      ~mip_stall_nodes:params.mip_stall_nodes ~rack_level:false ?include_server
+      ?decompose:params.decompose ?state snapshot reservations
   in
   let assignment1 = Formulation.decode phase1.Phases.formulation phase1.Phases.solution in
   let plan1 = Concretize.plan phase1.Phases.formulation assignment1 in
@@ -154,6 +162,7 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
           let result =
             Phases.run ~params:params.formulation
               ~mip_time_limit:params.phase2_time_limit_s ~mip_node_limit:params.node_limit
+              ~mip_gap_rel:params.mip_gap_rel ~mip_stall_nodes:params.mip_stall_nodes
               ~rack_level:true ~include_server snapshot2_all selected
           in
           let assignment2 = Formulation.decode result.Phases.formulation result.Phases.solution in
@@ -227,4 +236,5 @@ let solve ?(params = default_params) ?include_server (snapshot : Snapshot.t) =
     solver_dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
     solver_bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
     decompose = phase1.Phases.decompose;
+    incremental = phase1.Phases.incremental;
   }

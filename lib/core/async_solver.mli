@@ -13,6 +13,20 @@ type params = {
   phase1_time_limit_s : float;
   phase2_time_limit_s : float;
   node_limit : int;  (** branch-and-bound nodes per phase *)
+  mip_gap_rel : float;
+      (** relative optimality gap for both phases' tree searches (forwarded
+          to {!Phases.run}).  The default is near-exact; continuous-loop
+          deployments run at an interactive tolerance (e.g. [1e-3]) so a
+          carried cross-round incumbent that is still within tolerance
+          stops the search at the root *)
+  mip_stall_nodes : int;
+      (** stop a phase's tree search once the incumbent has not improved
+          for this many nodes (0 disables; forwarded to {!Phases.run}).
+          This is the stopping rule that fires in practice: the allocation
+          MIPs' soft-penalty integrality gap never closes, so a round ends
+          either here or at [node_limit].  With cross-round state the seed
+          is already near-optimal and rounds stop after a handful of
+          nodes *)
   run_phase2 : bool;
   phase2_fraction : float;  (** reservations refined in phase 2 *)
   phase2_var_cap : int;  (** grouped assignment-variable cap for phase 2 *)
@@ -55,14 +69,24 @@ type stats = {
   decompose : Ras_mip.Decompose.stats option;
       (** phase-1 decomposition statistics when [params.decompose] was
           active (mirrors [phase1.decompose]) *)
+  incremental : Solver_state.round_stats option;
+      (** phase-1 cross-round warm-start statistics when [?state] was
+          given (mirrors [phase1.incremental]) *)
 }
 
 val solve :
   ?params:params ->
   ?include_server:(Snapshot.server_view -> bool) ->
+  ?state:Solver_state.t ->
   Snapshot.t ->
   stats
 (** [include_server] restricts the assignable server pool (on top of the
     availability constraint); used to roll RAS out to a subset of the fleet
     while the rest stays under legacy management (Fig. 12's gradual
-    enablement). *)
+    enablement).
+
+    [state] is the persistent cross-round solver state of the continuous
+    loop: pass the same {!Solver_state.t} to every round and phase 1
+    warm-starts from the previous round's basis and incumbent (see
+    {!Phases.run}).  Phase 2 always solves cold — its reservation slice is
+    re-selected each round. *)

@@ -74,7 +74,12 @@ let build ?(params = default_params) ?(rack_level = false) (symmetry : Symmetry.
         (fun res ->
           let v = res.Reservation.rru_of hw in
           if v > 0.0 then begin
-            let name = Printf.sprintf "n_c%d_r%d" cls.Symmetry.index res.Reservation.id in
+            (* names are keyed by the stable class key, never the dense
+               class index: across snapshot deltas the surviving classes
+               keep their names, so cross-round model diffs stay minimal *)
+            let name =
+              Printf.sprintf "n_%s_r%d" (Symmetry.class_name cls) res.Reservation.id
+            in
             let var =
               Model.add_var ~name ~lb:0.0
                 ~ub:(float_of_int (Symmetry.size cls))
@@ -97,9 +102,12 @@ let build ?(params = default_params) ?(rack_level = false) (symmetry : Symmetry.
     (fun idx vars ->
       if vars <> [] then begin
         let e = Lin.of_terms (List.map (fun v -> (1.0, v)) vars) in
+        let cls = symmetry.Symmetry.classes.(idx) in
         ignore
-          (Model.add_constraint ~name:(Printf.sprintf "supply_c%d" idx) model e Model.Le
-             (float_of_int (Symmetry.size symmetry.Symmetry.classes.(idx))))
+          (Model.add_constraint
+             ~name:(Printf.sprintf "supply_%s" (Symmetry.class_name cls))
+             model e Model.Le
+             (float_of_int (Symmetry.size cls)))
       end)
     per_class_vars;
   let capacity_slack = ref [] and buffer_var = ref [] in
@@ -259,7 +267,7 @@ let build ?(params = default_params) ?(rack_level = false) (symmetry : Symmetry.
             in
             ignore
               (pos_part
-                 ~name:(Printf.sprintf "move_c%d_r%d" cls.Symmetry.index rid)
+                 ~name:(Printf.sprintf "move_%s_r%d" (Symmetry.class_name cls) rid)
                  ~weight:cost
                  (Lin.sub (Lin.constant (float_of_int n0)) (Lin.var var)))
           end)
@@ -573,6 +581,36 @@ let repair t solution =
       in
       Hashtbl.replace pairs_of_class p.cls.Symmetry.index (p :: existing))
     t.pairs;
+  (* Shed over-assignment first: a stale cross-round seed can leave a class
+     holding more servers than it has members (its membership shrank under
+     churn).  Drop one server at a time — from the reservation with the
+     most surplus over its own request, so the drop is least likely to
+     create a shortfall — until every class fits; the top-up loop below
+     then restores any capacity this sheds.  A no-op on supply-feasible
+     inputs. *)
+  for c = 0 to nclasses - 1 do
+    let size = Symmetry.size t.symmetry.Symmetry.classes.(c) in
+    let guard = ref 0 in
+    while class_used.(c) > size && !guard < 10_000 do
+      incr guard;
+      let ps = try Hashtbl.find pairs_of_class c with Not_found -> [] in
+      let best = ref None in
+      List.iter
+        (fun p ->
+          if count_of p > 0 then begin
+            let surplus =
+              !(Hashtbl.find res_total p.res.Reservation.id) -. p.res.Reservation.capacity_rru
+            in
+            match !best with
+            | Some (bs, _) when bs >= surplus -> ()
+            | _ -> best := Some (surplus, p)
+          end)
+        ps;
+      match !best with
+      | Some (_, p) -> bump p (-1)
+      | None -> guard := 10_000 (* unreachable: class_used > 0 implies a positive count *)
+    done
+  done;
   (* a donor must keep a safety margin over its own request so stealing never
      creates a new violation elsewhere *)
   let donor_floor res =

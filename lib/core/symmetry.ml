@@ -55,6 +55,15 @@ let build ?(rack_level = false) ?(include_server = fun _ -> true) (snapshot : Sn
   in
   { classes = Array.of_list classes; region = snapshot.Snapshot.region; snapshot }
 
+(* Stable identity of a class: every field of the grouping key, none of the
+   dense index.  Used to name model variables and rows, so that the same
+   logical class keeps the same name across snapshots even when classes
+   appear or disappear and the dense indices shift — the property the
+   cross-round incremental diff relies on. *)
+let class_name c =
+  let rack = match c.rack with Some r -> Printf.sprintf "k%d" r | None -> "" in
+  Printf.sprintf "m%d%sh%du%da%d" c.msb rack c.hw (if c.in_use then 1 else 0) c.attr
+
 let size c = Array.length c.members
 
 let hw_of c = Hw.catalog.(c.hw)

@@ -36,6 +36,13 @@ val build :
 (** Classes over the snapshot's usable servers (optionally filtered
     further).  Defaults: MSB-level, all usable servers. *)
 
+val class_name : cls -> string
+(** Stable textual identity of the class, built from every grouping-key
+    field and none of the dense index (e.g. ["m3k2h5u1a0"]).  Two builds
+    over different snapshots give the same name to the same logical class,
+    which is what keeps model variable/row names — and therefore the
+    cross-round {!Ras_mip.Incremental} diffs — stable under churn. *)
+
 val size : cls -> int
 
 val hw_of : cls -> Ras_topology.Hardware.t

@@ -54,6 +54,21 @@ val refactorize :
     [j].  Clears the eta file / update counter.  Raises {!Singular} (state
     unchanged) when elimination cannot complete. *)
 
+val refactorize_repaired :
+  t -> basis:int array -> col:(int -> (int -> float -> unit) -> unit) -> (int * int) list
+(** Like {!refactorize}, but a rank-deficient basis is repaired rather than
+    rejected ({!Lu} backend only): columns that prove linearly dependent
+    during elimination are replaced by unit columns of the rows left
+    without a pivot, and the factorization completes for the repaired
+    matrix.  Returns the [(position, row)] substitutions — the caller must
+    install row [row]'s slack at basis position [position] in its own
+    bookkeeping; the empty list means the basis was already nonsingular.
+    This is what makes a cross-round mapped basis usable after row
+    removals: projecting out rows can make carried columns dependent, and
+    the repair keeps the independent majority instead of discarding the
+    whole warm start.  The {!Dense} backend takes the strict path and
+    raises {!Singular}. *)
+
 val ftran_col : t -> int array -> float array -> float array
 (** [ftran_col t rows coefs] returns B⁻¹a for the sparse column a given by
     parallel [rows]/[coefs] arrays (the simplex entering column). *)

@@ -5,9 +5,11 @@ type options = {
   node_limit : int;
   gap_abs : float;
   gap_rel : float;
+  stall_node_limit : int;
   int_tol : float;
   heuristic_period : int;
   initial : float array option;
+  root_basis : Simplex.warm_basis option;
   warm_start : bool;
   lp_pricing : Simplex.pricing;
   lp_devex_carry : bool;
@@ -21,15 +23,19 @@ let default_options =
     node_limit = 100_000;
     gap_abs = 1e-6;
     gap_rel = 1e-9;
+    stall_node_limit = 0;
     int_tol = 1e-6;
     heuristic_period = 20;
     initial = None;
+    root_basis = None;
     warm_start = true;
     lp_pricing = Simplex.Devex;
     lp_devex_carry = false;
     lp_backend = Basis.Lu;
     dual_restart = true;
   }
+
+type seed_status = Seed_none | Seed_accepted | Seed_repaired | Seed_rejected
 
 type outcome = {
   status : status;
@@ -43,6 +49,7 @@ type outcome = {
   dual_restarted_nodes : int;
   dual_pivots : int;
   bland_pivots : int;
+  seed : seed_status;
   elapsed : float;
 }
 
@@ -187,10 +194,12 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let fac_cache : (Simplex.warm_basis * Basis.t) option ref = ref None in
   let root_lb = Array.copy std.lb and root_ub = Array.copy std.ub in
   tighten_integer_bounds std root_lb root_ub;
+  let last_improve = ref 0 in
   let update_incumbent x obj =
     if obj < !incumbent_obj -. 1e-12 then begin
       incumbent := Some x;
-      incumbent_obj := obj
+      incumbent_obj := obj;
+      last_improve := !nodes
     end
   in
   let gap_closed bound =
@@ -281,23 +290,57 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
         end
     end
   in
+  let seed_status = ref Seed_none in
   (match options.initial with
-  | Some x0 -> (
-    match Model.check_solution std x0 with
-    | Ok () ->
+  | Some x0 when Array.length x0 = std.nvars -> (
+    let objective_of y =
       let obj = ref std.obj_offset in
       for j = 0 to std.nvars - 1 do
-        obj := !obj +. (std.obj.(j) *. x0.(j))
+        obj := !obj +. (std.obj.(j) *. y.(j))
       done;
-      update_incumbent (Array.copy x0) !obj
-    | Error _ -> ())
+      !obj
+    in
+    match Model.check_solution std x0 with
+    | Ok () ->
+      seed_status := Seed_accepted;
+      update_incumbent (Array.copy x0) (objective_of x0)
+    | Error _ -> (
+      (* A stale seed — e.g. last round's incumbent after churn moved the
+         bounds — gets one bounded repair attempt: clamp into the root
+         node's (integer-tightened) bounds and round integer variables.
+         Only the full checker decides; a still-invalid seed is counted
+         as rejected and branch-and-bound proceeds unseeded. *)
+      let y = Array.copy x0 in
+      for j = 0 to std.nvars - 1 do
+        let v = Float.max root_lb.(j) (Float.min root_ub.(j) y.(j)) in
+        y.(j) <-
+          (if std.integer.(j) then
+             Float.max root_lb.(j) (Float.min root_ub.(j) (Float.round v))
+           else v)
+      done;
+      match Model.check_solution std y with
+      | Ok () ->
+        seed_status := Seed_repaired;
+        update_incumbent y (objective_of y)
+      | Error _ -> seed_status := Seed_rejected))
+  | Some _ -> seed_status := Seed_rejected
   | None -> ());
   if options.node_limit > 0 then
-    process { nlb = root_lb; nub = root_ub; depth = 0; wb = None } neg_infinity;
+    process { nlb = root_lb; nub = root_ub; depth = 0; wb = options.root_basis } neg_infinity;
   let max_plunge_depth = 100 in
   let stop = ref !unbounded in
   while not !stop do
     if elapsed () > options.time_limit || !nodes >= options.node_limit then stop := true
+    else if
+      (* stalled: the incumbent has not improved for [stall_node_limit]
+         consecutive nodes.  This is the continuous-loop stopping rule —
+         a near-optimal carried seed makes every round stop almost
+         immediately, while a poorly-seeded search keeps running as long
+         as it keeps finding better allocations. *)
+      options.stall_node_limit > 0
+      && !incumbent <> None
+      && !nodes - !last_improve >= options.stall_node_limit
+    then stop := true
     else begin
       (match !plunge with
       | (bound, node) :: rest ->
@@ -347,8 +390,71 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
     dual_restarted_nodes = !dual_nodes;
     dual_pivots = !dual_pivots;
     bland_pivots = !bland_pivots;
+    seed = !seed_status;
     elapsed = elapsed ();
   }
+
+(* Project a caller-supplied root basis of the {e original} model onto the
+   presolved one: variables keep their indices (presolve preserves them),
+   slack columns are renumbered to the surviving rows, and basis positions
+   of dropped rows vanish.  Rows whose carried column disappeared get a free
+   slack; any resulting rank deficiency is the simplex's repairing
+   refactorization's problem.  [None] when the variable spaces disagree. *)
+let project_root_basis ~kept_rows (reduced : Model.std) (wb : Simplex.warm_basis) =
+  let nvars = reduced.Model.nvars and m = reduced.Model.nrows in
+  let old_m = Array.length wb.Simplex.wcols in
+  let old_nvars = Array.length wb.Simplex.wstatus - old_m in
+  if old_nvars <> nvars || Array.length kept_rows <> m then None
+  else begin
+    let slack_map = Array.make old_m (-1) in
+    Array.iteri (fun newi oldi -> slack_map.(oldi) <- newi) kept_rows;
+    let remap c =
+      if c < nvars then c
+      else
+        let r = slack_map.(c - nvars) in
+        if r < 0 then -1 else nvars + r
+    in
+    let ntotal = nvars + m in
+    let used = Array.make ntotal false in
+    let wcols = Array.make m (-1) in
+    Array.iteri
+      (fun newi oldi ->
+        let c = remap wb.Simplex.wcols.(oldi) in
+        if c >= 0 && not used.(c) then begin
+          wcols.(newi) <- c;
+          used.(c) <- true
+        end)
+      kept_rows;
+    let next_free = ref 0 in
+    for i = 0 to m - 1 do
+      if wcols.(i) < 0 then begin
+        let own = nvars + i in
+        let c =
+          if not used.(own) then own
+          else begin
+            while used.(nvars + !next_free) do
+              incr next_free
+            done;
+            nvars + !next_free
+          end
+        in
+        wcols.(i) <- c;
+        used.(c) <- true
+      end
+    done;
+    let wstatus = Array.make ntotal Simplex.At_lower in
+    Array.blit wb.Simplex.wstatus 0 wstatus 0 nvars;
+    Array.iteri
+      (fun newi oldi -> wstatus.(nvars + newi) <- wb.Simplex.wstatus.(old_nvars + oldi))
+      kept_rows;
+    for j = 0 to ntotal - 1 do
+      if used.(j) then wstatus.(j) <- Simplex.Basic
+      else if wstatus.(j) = Simplex.Basic then wstatus.(j) <- Simplex.At_lower
+    done;
+    (* the factorization and devex weights belong to the unprojected
+       basis / column space; never carry them *)
+    Some { Simplex.wcols; wstatus; wfac = None; wdevex = None }
+  end
 
 let solve ?(options = default_options) (std : Model.std) =
   (* presolve first: bound tightening and row elimination are pure wins for
@@ -368,9 +474,15 @@ let solve ?(options = default_options) (std : Model.std) =
       dual_restarted_nodes = 0;
       dual_pivots = 0;
       bland_pivots = 0;
+      seed = (if options.initial = None then Seed_none else Seed_rejected);
       elapsed = 0.0;
     }
-  | Presolve.Reduced { std = reduced; fixed; _ } ->
+  | Presolve.Reduced { std = reduced; fixed; kept_rows; _ } ->
+    let options =
+      match options.root_basis with
+      | Some wb -> { options with root_basis = project_root_basis ~kept_rows reduced wb }
+      | None -> options
+    in
     let outcome = solve_presolved ~options reduced in
     (match outcome.solution with
     | Some x -> { outcome with solution = Some (Presolve.restore ~fixed x) }

@@ -27,11 +27,29 @@ type options = {
   node_limit : int;
   gap_abs : float;  (** stop when [incumbent - best_bound <= gap_abs] *)
   gap_rel : float;  (** or [<= gap_rel * max 1 |incumbent|] *)
+  stall_node_limit : int;
+      (** stop once the incumbent has not improved for this many
+          consecutive nodes (0 disables).  The soft-penalty allocation
+          MIPs carry a structural integrality gap the bound cannot close,
+          so gap-based stopping never fires; stalling is the stopping rule
+          the continuous loop uses — a near-optimal cross-round seed makes
+          the re-solve terminate after a handful of nodes *)
   int_tol : float;  (** integrality tolerance on LP values *)
   heuristic_period : int;  (** run the rounding heuristic every N nodes *)
   initial : float array option;
-      (** a known feasible solution to seed the incumbent (checked with
-          {!Model.check_solution} and ignored when invalid) *)
+      (** a known (possibly stale) solution to seed the incumbent.  The
+          seed is checked with {!Model.check_solution}; an invalid one —
+          e.g. last round's incumbent after churn — gets one bounded
+          repair attempt (clamp into root bounds, round integers) and is
+          otherwise rejected.  The outcome's [seed] field reports which
+          happened; a stale seed never raises. *)
+  root_basis : Simplex.warm_basis option;
+      (** warm basis for the {e root} node's LP — typically the optimal
+          basis of a relaxation the caller already solved (the phase-1
+          root LP, or last round's root via {!Incremental.map_basis}).
+          Advisory: the simplex validates it and falls back to a cold
+          root solve on any mismatch.  Child nodes are unaffected (they
+          warm-start from their parent as controlled by [warm_start]). *)
   warm_start : bool;
       (** restart child LPs from the parent's optimal basis; disable to get
           the cold-start behaviour (equivalence testing, benchmarking) *)
@@ -61,6 +79,17 @@ val default_options : options
     [lp_devex_carry = false], [lp_backend = Basis.Lu],
     [dual_restart = true]. *)
 
+type seed_status =
+  | Seed_none  (** no initial solution was supplied *)
+  | Seed_accepted  (** the seed passed {!Model.check_solution} as given *)
+  | Seed_repaired
+      (** the seed was invalid but the clamp-and-round repair made it
+          feasible; the repaired point became the starting incumbent *)
+  | Seed_rejected
+      (** the seed stayed invalid after repair (or had the wrong length,
+          or the model was proven infeasible in presolve); the search
+          started unseeded *)
+
 type outcome = {
   status : status;
   solution : float array option;  (** incumbent, one entry per variable *)
@@ -78,6 +107,7 @@ type outcome = {
       (** total primal pivots taken under the Bland anti-cycling fallback
           across all node LPs (nonzero means some node hit a degenerate
           stall) *)
+  seed : seed_status;  (** what became of [options.initial] *)
   elapsed : float;  (** seconds *)
 }
 

@@ -275,6 +275,20 @@ let solve ?(options = Branch_bound.default_options) ?pool ?(max_repair_moves = 1
       dual_restarted_nodes = sum (fun o -> o.Branch_bound.dual_restarted_nodes);
       dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
       bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
+      (* worst sub-seed outcome: a single rejected slice means the merged
+         warm start was not fully honoured *)
+      seed =
+        Array.fold_left
+          (fun acc (out, _) ->
+            match (acc, out.Branch_bound.seed) with
+            | Branch_bound.Seed_rejected, _ | _, Branch_bound.Seed_rejected ->
+              Branch_bound.Seed_rejected
+            | Branch_bound.Seed_repaired, _ | _, Branch_bound.Seed_repaired ->
+              Branch_bound.Seed_repaired
+            | Branch_bound.Seed_accepted, _ | _, Branch_bound.Seed_accepted ->
+              Branch_bound.Seed_accepted
+            | Branch_bound.Seed_none, Branch_bound.Seed_none -> Branch_bound.Seed_none)
+          Branch_bound.Seed_none results;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in

@@ -46,16 +46,24 @@ let add_to_objective t e = t.obj <- Lin_expr.add t.obj e
 let add_pos_part ?name t ~weight e =
   if weight < 0.0 then invalid_arg "Model.add_pos_part: negative weight";
   let y = add_var ?name ~lb:0.0 t in
-  (* y >= e  <=>  e - y <= 0 *)
-  let _ = add_constraint t (Lin_expr.sub e (Lin_expr.var y)) Le 0.0 in
+  (* y >= e  <=>  e - y <= 0; the defining row inherits the auxiliary
+     variable's (stable) name so cross-round diffs can match it by name *)
+  let rname = Printf.sprintf "%s_def" t.vars.(y).vname in
+  let _ = add_constraint ~name:rname t (Lin_expr.sub e (Lin_expr.var y)) Le 0.0 in
   add_to_objective t (Lin_expr.term weight y);
   y
 
 let add_max_over ?name t ~weight es =
   if weight < 0.0 then invalid_arg "Model.add_max_over: negative weight";
   let z = add_var ?name ~lb:0.0 t in
-  let bound e = ignore (add_constraint t (Lin_expr.sub e (Lin_expr.var z)) Le 0.0) in
-  List.iter bound es;
+  let vname = t.vars.(z).vname in
+  let bound i e =
+    ignore
+      (add_constraint
+         ~name:(Printf.sprintf "%s_def%d" vname i)
+         t (Lin_expr.sub e (Lin_expr.var z)) Le 0.0)
+  in
+  List.iteri bound es;
   add_to_objective t (Lin_expr.term weight z);
   z
 

@@ -1,5 +1,10 @@
 type result =
-  | Reduced of { std : Model.std; fixed : (int * float) list; dropped_rows : int }
+  | Reduced of {
+      std : Model.std;
+      fixed : (int * float) list;
+      dropped_rows : int;
+      kept_rows : int array;
+    }
   | Proven_infeasible of string
 
 let tol = 1e-9
@@ -172,6 +177,9 @@ let run (std : Model.std) =
          rows
      done;
      (* rebuild a compact std with identical variable indexing *)
+     let kept = ref [] in
+     Array.iteri (fun i r -> if r.live then kept := i :: !kept) rows;
+     let kept_rows = Array.of_list (List.rev !kept) in
      let live_rows = Array.to_list rows |> List.filter (fun r -> r.live) in
      let nrows = List.length live_rows in
      let row_cols = Array.make nrows [||] and row_coefs = Array.make nrows [||] in
@@ -224,6 +232,7 @@ let run (std : Model.std) =
            };
          fixed = !fixed;
          dropped_rows = !dropped;
+         kept_rows;
        }
    with Infeasible reason -> Proven_infeasible reason)
 

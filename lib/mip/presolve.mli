@@ -23,6 +23,10 @@ type result =
       std : Model.std;  (** same variable count, tightened bounds, fewer rows *)
       fixed : (int * float) list;  (** variables proven to have one value *)
       dropped_rows : int;
+      kept_rows : int array;
+          (** original indices of the surviving rows, in output order —
+              lets callers project row-indexed artifacts (e.g. a warm
+              basis) onto the reduced model *)
     }
   | Proven_infeasible of string  (** human-readable reason *)
 

@@ -515,8 +515,22 @@ let try_warm st (wb : warm_basis) =
           true
         | Some _ | None -> false
       in
-      match if adopted then () else refactor st with
-      | () ->
+      match
+        if adopted then []
+        else Basis.refactorize_repaired st.fac ~basis:st.basis ~col:(col_iter st)
+      with
+      | repairs ->
+        (* Dependent carried columns (a cross-round basis projected onto a
+           model with removed rows) were replaced by slacks of the rows the
+           elimination left unpivoted; mirror the substitutions here. *)
+        List.iter
+          (fun (pos, row) ->
+            let displaced = st.basis.(pos) in
+            let slack = st.std.nvars + row in
+            st.basis.(pos) <- slack;
+            st.status.(slack) <- Basic;
+            set_nonbasic st displaced wb.wstatus.(displaced))
+          repairs;
         st.dual_valid <- false;
         recompute_basics st;
         true

@@ -10,7 +10,7 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (kernels --quick) =="
+echo "== bench smoke (kernels --quick, incl. continuous-loop rows) =="
 dune exec bench/main.exe -- --quick kernels
 
 echo "== check OK =="

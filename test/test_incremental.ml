@@ -1,0 +1,436 @@
+(* Cross-round incremental re-solve: the correctness contracts behind the
+   continuous-loop perf numbers.
+
+   - apply-diff bit-identity: reconstructing [next] from [prev] plus the
+     name-keyed diff gives exactly the freshly compiled model, over
+     randomized churn (variables and rows added, removed and perturbed);
+   - incremental-vs-cold equivalence: re-solving with a mapped warm basis
+     (LP chains) or a mapped basis + patched seed (B&B chains) reaches the
+     same objective as a cold solve — the warm path is a pure perf change;
+   - naming stability: failing a server changes only the entities that
+     actually changed — surviving variable/row names are preserved, so the
+     cross-round diff stays proportional to the churn;
+   - stale seeds degrade gracefully: an invalid carried incumbent is
+     repaired or rejected (and counted), never an exception. *)
+
+open Ras
+module Broker = Ras_broker.Broker
+module Generator = Ras_topology.Generator
+module Service = Ras_workload.Service
+module Unavail = Ras_failures.Unavail
+module Model = Ras_mip.Model
+module Lin_expr = Ras_mip.Lin_expr
+module Simplex = Ras_mip.Simplex
+module Incremental = Ras_mip.Incremental
+module Branch_bound = Ras_mip.Branch_bound
+
+(* ---------- randomized named-model worlds ---------- *)
+
+(* A world is a list of named variables and named rows over them; churn
+   mutates the world the way region churn mutates the formulation: some
+   entities disappear, fresh ones appear, surviving ones drift. *)
+
+type vspec = { vid : int; vlb : float; vub : float; vobj : float; vint : bool }
+
+type rspec = {
+  rid : int;
+  terms : (int * float) list; (* (vid, coef) *)
+  sense : Model.sense;
+  rrhs : float;
+}
+
+type world = { vs : vspec list; rs : rspec list; fresh : int }
+
+let frand rng lo hi = lo +. Ras_stats.Rng.float rng (hi -. lo)
+
+let random_var rng vid =
+  let vlb = frand rng (-3.0) 0.0 in
+  {
+    vid;
+    vlb;
+    vub = vlb +. frand rng 0.5 4.0;
+    vobj = frand rng (-5.0) 5.0;
+    vint = Ras_stats.Rng.int rng 3 = 0;
+  }
+
+let random_row rng rid vs =
+  let terms =
+    List.filter_map
+      (fun v ->
+        if Ras_stats.Rng.int rng 3 = 0 then
+          Some (v.vid, frand rng (-4.0) 4.0)
+        else None)
+      vs
+  in
+  let sense =
+    match Ras_stats.Rng.int rng 3 with
+    | 0 -> Model.Le
+    | 1 -> Model.Ge
+    | _ -> Model.Eq
+  in
+  { rid; terms; sense; rrhs = frand rng (-6.0) 8.0 }
+
+let random_world rng =
+  let nv = 4 + Ras_stats.Rng.int rng 8 in
+  let nr = 3 + Ras_stats.Rng.int rng 6 in
+  let vs = List.init nv (random_var rng) in
+  { vs; rs = List.init nr (fun i -> random_row rng i vs); fresh = nv + nr }
+
+(* Small churn: each entity independently removed or perturbed with low
+   probability, and a couple of fresh entities appear at the end. *)
+let churn rng w =
+  let keep p = Ras_stats.Rng.float rng 1.0 >= p in
+  let vs =
+    List.filter_map
+      (fun v ->
+        if not (keep 0.1) then None
+        else if keep 0.7 then Some v
+        else
+          (* drift bounds/objective; occasionally flip integrality *)
+          let vlb = v.vlb +. frand rng (-0.3) 0.3 in
+          Some
+            {
+              v with
+              vlb;
+              vub = Float.max (vlb +. 0.1) (v.vub +. frand rng (-0.3) 0.3);
+              vobj = v.vobj +. frand rng (-1.0) 1.0;
+            })
+      w.vs
+  in
+  let alive = List.map (fun v -> v.vid) vs in
+  let fresh = ref w.fresh in
+  let new_vs =
+    List.init (Ras_stats.Rng.int rng 3) (fun _ ->
+        incr fresh;
+        random_var rng !fresh)
+  in
+  let vs = vs @ new_vs in
+  let rs =
+    List.filter_map
+      (fun r ->
+        if not (keep 0.1) then None
+        else
+          let terms = List.filter (fun (vid, _) -> List.mem vid alive) r.terms in
+          if keep 0.7 then Some { r with terms }
+          else if keep 0.5 then Some { r with terms; rrhs = r.rrhs +. frand rng (-1.0) 1.0 }
+          else
+            Some
+              {
+                r with
+                terms = List.map (fun (vid, c) -> (vid, c +. frand rng (-0.5) 0.5)) terms;
+              })
+      w.rs
+  in
+  let new_rs =
+    List.init (Ras_stats.Rng.int rng 2) (fun _ ->
+        incr fresh;
+        random_row rng !fresh vs)
+  in
+  { vs; rs = rs @ new_rs; fresh = !fresh }
+
+let compile_world w =
+  let m = Model.create () in
+  let index = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let var =
+        Model.add_var
+          ~name:(Printf.sprintf "v%d" v.vid)
+          ~lb:v.vlb ~ub:v.vub
+          ~kind:(if v.vint then Model.Integer else Model.Continuous)
+          m
+      in
+      Hashtbl.replace index v.vid var)
+    w.vs;
+  List.iter
+    (fun r ->
+      let terms =
+        List.filter_map
+          (fun (vid, c) ->
+            match Hashtbl.find_opt index vid with
+            | Some var -> Some (c, var)
+            | None -> None)
+          r.terms
+      in
+      ignore
+        (Model.add_constraint
+           ~name:(Printf.sprintf "r%d" r.rid)
+           m (Lin_expr.of_terms terms) r.sense r.rrhs))
+    w.rs;
+  Model.set_objective m
+    (Lin_expr.of_terms
+       (List.filter_map
+          (fun v ->
+            if v.vobj = 0.0 then None else Some (v.vobj, Hashtbl.find index v.vid))
+          w.vs));
+  Model.compile m
+
+(* ---------- bit-identity of apply ---------- *)
+
+let std_equal (a : Model.std) (b : Model.std) =
+  a.Model.nvars = b.Model.nvars && a.Model.nrows = b.Model.nrows
+  && a.Model.obj = b.Model.obj
+  && a.Model.obj_offset = b.Model.obj_offset
+  && a.Model.lb = b.Model.lb && a.Model.ub = b.Model.ub
+  && a.Model.integer = b.Model.integer
+  && a.Model.row_sense = b.Model.row_sense
+  && a.Model.rhs = b.Model.rhs
+  && a.Model.col_rows = b.Model.col_rows
+  && a.Model.col_coefs = b.Model.col_coefs
+  && a.Model.row_cols = b.Model.row_cols
+  && a.Model.row_coefs = b.Model.row_coefs
+  && a.Model.var_names = b.Model.var_names
+  && a.Model.row_names = b.Model.row_names
+
+let prop_apply_bit_identity =
+  QCheck.Test.make ~name:"apply(prev, diff) is bit-identical to next" ~count:200
+    QCheck.int (fun seed ->
+      let rng = Ras_stats.Rng.create seed in
+      let w = ref (random_world rng) in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let prev = compile_world !w in
+        w := churn rng !w;
+        let next = compile_world !w in
+        let d = Incremental.diff ~prev ~next in
+        ok := !ok && std_equal (Incremental.apply ~prev d) next
+      done;
+      !ok)
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"diff(model, model) reports zero changes" ~count:50
+    QCheck.int (fun seed ->
+      let rng = Ras_stats.Rng.create seed in
+      let std = compile_world (random_world rng) in
+      let d = Incremental.diff ~prev:std ~next:std in
+      let s = Incremental.stats d in
+      Incremental.total_changes s = 0 && s.Incremental.structure_identical)
+
+(* ---------- incremental-vs-cold equivalence ---------- *)
+
+(* LP chains: each churned successor is solved cold and with the mapped
+   previous basis; both must agree on status and objective.  The mapped
+   basis is advisory by contract, so this pins both the mapping and the
+   rank-repairing restart underneath it. *)
+let lp_relax (std : Model.std) = { std with Model.integer = Array.make std.Model.nvars false }
+
+let prop_lp_incremental_equiv =
+  QCheck.Test.make ~name:"LP re-solve from mapped basis matches cold" ~count:120
+    QCheck.int (fun seed ->
+      let rng = Ras_stats.Rng.create seed in
+      let w = ref (random_world rng) in
+      let prev = ref None in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        let std = lp_relax (compile_world !w) in
+        let cold = Simplex.solve std in
+        let warm =
+          match !prev with
+          | None -> cold
+          | Some (pstd, pbasis) -> (
+            let d = Incremental.diff ~prev:pstd ~next:std in
+            match Incremental.map_basis d ~prev_basis:pbasis with
+            | None -> cold
+            | Some (wb, _) -> Simplex.solve ~basis:wb std)
+        in
+        (match (cold, warm) with
+        | Simplex.Optimal { obj = cobj; _ }, Simplex.Optimal { obj = wobj; basis; _ } ->
+          let scale = Float.max 1.0 (Float.abs cobj) in
+          ok := !ok && Float.abs (cobj -. wobj) <= 1e-6 *. scale;
+          prev := Some (std, basis)
+        | Simplex.Infeasible _, Simplex.Infeasible _
+        | Simplex.Unbounded, Simplex.Unbounded ->
+          prev := None
+        | _ ->
+          ok := false;
+          prev := None);
+        w := churn rng !w
+      done;
+      !ok)
+
+(* B&B chains: warm rounds get last round's root basis and its solution as
+   the seed; default options solve these small MIPs exactly, so the
+   objectives must agree. *)
+let prop_mip_incremental_equiv =
+  QCheck.Test.make ~name:"B&B re-solve from mapped basis + seed matches cold"
+    ~count:60 QCheck.int (fun seed ->
+      let rng = Ras_stats.Rng.create seed in
+      let w = ref (random_world rng) in
+      let prev = ref None in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let std = compile_world !w in
+        let cold = Branch_bound.solve std in
+        let options =
+          match !prev with
+          | None -> Branch_bound.default_options
+          | Some (pstd, pbasis, psol) -> (
+            let d = Incremental.diff ~prev:pstd ~next:std in
+            let root_basis =
+              Option.map fst (Incremental.map_basis d ~prev_basis:pbasis)
+            in
+            {
+              Branch_bound.default_options with
+              Branch_bound.root_basis;
+              initial = Option.map (Incremental.map_solution d) psol;
+            })
+        in
+        let warm = Branch_bound.solve ~options std in
+        ok := !ok && cold.Branch_bound.status = warm.Branch_bound.status;
+        (match cold.Branch_bound.status with
+        | Branch_bound.Optimal ->
+          let scale = Float.max 1.0 (Float.abs cold.Branch_bound.objective) in
+          ok :=
+            !ok
+            && Float.abs (cold.Branch_bound.objective -. warm.Branch_bound.objective)
+               <= 1e-5 *. scale
+        | _ -> ());
+        (match Simplex.solve (lp_relax std) with
+        | Simplex.Optimal { basis; _ } ->
+          prev := Some (std, basis, warm.Branch_bound.solution)
+        | _ -> prev := None);
+        w := churn rng !w
+      done;
+      !ok)
+
+(* ---------- naming stability under churn ---------- *)
+
+let web = Service.make ~id:1 ~name:"web" ~profile:Service.Web ()
+
+let region_snapshot () =
+  let region = Generator.generate Generator.small_params in
+  let broker = Broker.create region in
+  let rng = Ras_stats.Rng.create 7 in
+  let requests =
+    Ras_workload.Request_gen.scenario rng ~region ~services:[ web ]
+      ~target_utilization:0.35
+  in
+  let reservations = List.map Reservation.of_request requests in
+  (broker, reservations)
+
+let compile_snapshot broker reservations =
+  let snapshot = Snapshot.take broker reservations in
+  let symmetry = Symmetry.build snapshot in
+  let f = Formulation.build symmetry snapshot.Snapshot.reservations in
+  Model.compile f.Formulation.model
+
+let test_naming_stability () =
+  let broker, reservations = region_snapshot () in
+  let before = compile_snapshot broker reservations in
+  (* fail one server: its symmetry class shrinks by one, nothing else
+     about the world changes *)
+  let victim = ref (-1) in
+  Broker.iter broker ~f:(fun r ->
+      if !victim < 0 then victim := r.Broker.server.Ras_topology.Region.id);
+  Alcotest.(check bool) "found a server" true (!victim >= 0);
+  Broker.mark_down broker !victim Unavail.Unplanned_sw;
+  let after = compile_snapshot broker reservations in
+  let names a = Array.to_list a.Model.var_names in
+  let surviving = List.filter (fun n -> List.mem n (names before)) (names after) in
+  (* every surviving name must appear in both compilations — the diff then
+     matches them instead of treating index shifts as add/remove pairs *)
+  Alcotest.(check bool)
+    "most variables survive one server failure" true
+    (List.length surviving > Array.length after.Model.var_names * 9 / 10);
+  let d = Incremental.diff ~prev:before ~next:after in
+  let s = Incremental.stats d in
+  let touched =
+    s.Incremental.vars_added + s.Incremental.vars_removed + s.Incremental.rows_added
+    + s.Incremental.rows_removed
+  in
+  (* one failed server may shrink a class (bound change) or retire it
+     entirely; either way the structural churn stays a sliver of the model *)
+  Alcotest.(check bool)
+    (Printf.sprintf "structural diff is small (%d touched of %d vars/%d rows)" touched
+       before.Model.nvars before.Model.nrows)
+    true
+    (touched * 10 < before.Model.nvars + before.Model.nrows)
+
+(* ---------- stale seeds are repaired or rejected, never an exception ---- *)
+
+let bounded_mip () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~ub:5.0 ~kind:Model.Integer m in
+  let y = Model.add_var ~name:"y" ~ub:5.0 ~kind:Model.Integer m in
+  ignore
+    (Model.add_constraint ~name:"cap" m
+       (Lin_expr.of_terms [ (1.0, x); (1.0, y) ])
+       Model.Le 6.0);
+  Model.set_objective m (Lin_expr.of_terms [ (-1.0, x); (-2.0, y) ]);
+  Model.compile m
+
+let test_stale_seed_repaired () =
+  let std = bounded_mip () in
+  (* out-of-bounds and fractional: clamping + rounding makes it feasible *)
+  let options =
+    { Branch_bound.default_options with Branch_bound.initial = Some [| 9.5; -3.2 |] }
+  in
+  let out = Branch_bound.solve ~options std in
+  Alcotest.(check bool)
+    "repaired seed counted" true
+    (out.Branch_bound.seed = Branch_bound.Seed_repaired);
+  Alcotest.(check (float 1e-6)) "still solves to optimality" (-11.0) out.Branch_bound.objective
+
+let test_stale_seed_rejected () =
+  let std = bounded_mip () in
+  (* wrong dimension: nothing to repair, must be rejected without raising *)
+  let options =
+    { Branch_bound.default_options with Branch_bound.initial = Some [| 1.0 |] }
+  in
+  let out = Branch_bound.solve ~options std in
+  Alcotest.(check bool)
+    "wrong-length seed rejected" true
+    (out.Branch_bound.seed = Branch_bound.Seed_rejected);
+  Alcotest.(check (float 1e-6)) "solve unaffected" (-11.0) out.Branch_bound.objective
+
+let test_valid_seed_accepted () =
+  let std = bounded_mip () in
+  let options =
+    { Branch_bound.default_options with Branch_bound.initial = Some [| 1.0; 5.0 |] }
+  in
+  let out = Branch_bound.solve ~options std in
+  Alcotest.(check bool)
+    "valid seed accepted" true
+    (out.Branch_bound.seed = Branch_bound.Seed_accepted);
+  Alcotest.(check (float 1e-6)) "optimal from seed" (-11.0) out.Branch_bound.objective
+
+(* ---------- end-to-end: Solver_state threads through Phases ---------- *)
+
+let test_solver_state_rounds () =
+  let broker, reservations = region_snapshot () in
+  let state = Solver_state.create () in
+  let params =
+    { Async_solver.default_params with Async_solver.node_limit = 20; run_phase2 = false }
+  in
+  let objs = ref [] in
+  for _ = 0 to 1 do
+    let snapshot = Snapshot.take broker reservations in
+    let stats = Async_solver.solve ~params ~state snapshot in
+    (match stats.Async_solver.incremental with
+    | Some r -> objs := r.Solver_state.round :: !objs
+    | None -> Alcotest.fail "incremental stats missing when state supplied");
+    ignore stats
+  done;
+  Alcotest.(check (list int)) "rounds numbered" [ 1; 0 ] !objs;
+  match Solver_state.history state with
+  | [ r0; r1 ] ->
+    Alcotest.(check bool) "round 0 is cold" true (r0.Solver_state.diff = None);
+    Alcotest.(check bool) "round 1 has a diff" true (r1.Solver_state.diff <> None);
+    (* the world did not change between rounds: the whole basis carries *)
+    Alcotest.(check bool)
+      "full basis reuse on an unchanged world" true
+      (Solver_state.basis_reuse_rate r1 > 0.99)
+  | h -> Alcotest.fail (Printf.sprintf "expected 2 history rounds, got %d" (List.length h))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_apply_bit_identity;
+    QCheck_alcotest.to_alcotest prop_diff_self_empty;
+    QCheck_alcotest.to_alcotest prop_lp_incremental_equiv;
+    QCheck_alcotest.to_alcotest prop_mip_incremental_equiv;
+    Alcotest.test_case "naming stability under server failure" `Quick test_naming_stability;
+    Alcotest.test_case "stale seed repaired" `Quick test_stale_seed_repaired;
+    Alcotest.test_case "stale seed rejected" `Quick test_stale_seed_rejected;
+    Alcotest.test_case "valid seed accepted" `Quick test_valid_seed_accepted;
+    Alcotest.test_case "solver state threads through rounds" `Quick test_solver_state_rounds;
+  ]

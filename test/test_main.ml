@@ -13,6 +13,7 @@ let suites =
     ("differential", Test_differential.suite);
     ("decompose", Test_decompose.suite);
     ("warmstart", Test_warmstart.suite);
+    ("incremental", Test_incremental.suite);
     ("presolve", Test_presolve.suite);
     ("topology", Test_topology.suite);
     ("workload", Test_workload.suite);
