@@ -103,48 +103,84 @@ let size_of (std : Model.std) = Printf.sprintf "nvars=%d nrows=%d" std.Model.nva
 (* LP kernel: pivots/sec under the two pricing schemes               *)
 
 let lp_kernel ~label ~repeats (std : Model.std) =
-  let run pricing backend =
+  let ws = Simplex.create_workspace () in
+  let run pricing backend kernels =
     let t0 = Unix.gettimeofday () in
     let iters = ref 0 in
     let status = ref "?" and obj = ref nan in
+    let ks = ref { Simplex.avg_ftran_nnz = 0.0; avg_btran_nnz = 0.0; bound_flips = 0 } in
     for _ = 1 to repeats do
-      match Simplex.solve ~pricing ~backend std with
-      | Simplex.Optimal { iterations; obj = o; _ } ->
+      match Simplex.solve ~pricing ~backend ~kernels ~ws std with
+      | Simplex.Optimal { iterations; obj = o; kstats; _ } ->
         iters := !iters + iterations;
         obj := o;
+        ks := kstats;
         status := "optimal"
       | Simplex.Infeasible _ -> status := "infeasible"
       | Simplex.Unbounded -> status := "unbounded"
       | Simplex.Iteration_limit _ -> status := "iteration-limit"
     done;
     let dt = Unix.gettimeofday () -. t0 in
-    (dt, !iters, !status, !obj)
+    (dt, !iters, !status, !obj, !ks)
   in
   let rates = Hashtbl.create 4 and objs = Hashtbl.create 4 in
-  let pivots = Hashtbl.create 4 in
+  let pivots = Hashtbl.create 4 and walls = Hashtbl.create 4 in
   List.iter
-    (fun (mode, pricing, backend) ->
-      let dt, iters, status, obj = run pricing backend in
+    (fun (mode, pricing, backend, kernels) ->
+      let dt, iters, status, obj, ks = run pricing backend kernels in
       let name = Printf.sprintf "lp-%s-%s" label mode in
       let rate = float_of_int iters /. dt in
       Hashtbl.replace rates mode rate;
       Hashtbl.replace objs mode obj;
       Hashtbl.replace pivots mode iters;
-      Report.row "%-34s %8.3fs  %6d pivots  %9.0f pivots/s  %6.1f LP/s  [%s]\n" name dt iters
-        rate
+      Hashtbl.replace walls mode dt;
+      Report.row
+        "%-34s %8.3fs  %6d pivots  %9.0f pivots/s  %6.1f LP/s  ftran %.1f / btran %.1f nnz  [%s]\n"
+        name dt iters rate
         (float_of_int repeats /. dt)
-        status;
+        ks.Simplex.avg_ftran_nnz ks.Simplex.avg_btran_nnz status;
       record ~kernel:name ~size:(size_of std) ~wall_s:dt
         [
           ("pivots", string_of_int iters);
           ("pivots_per_sec", flt rate);
           ("lps_per_sec", flt (float_of_int repeats /. dt));
+          ("avg_ftran_nnz", flt ks.Simplex.avg_ftran_nnz);
+          ("avg_btran_nnz", flt ks.Simplex.avg_btran_nnz);
+          ("bound_flips", string_of_int ks.Simplex.bound_flips);
         ])
     [
-      ("dantzig-pricing", Simplex.Dantzig, Ras_mip.Basis.Lu);
-      ("partial-pricing", Simplex.Partial, Ras_mip.Basis.Lu);
-      ("devex-pricing", Simplex.Devex, Ras_mip.Basis.Lu);
-      ("dense-inverse", Simplex.Partial, Ras_mip.Basis.Dense);
+      ("dantzig-pricing", Simplex.Dantzig, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+      ("partial-pricing", Simplex.Partial, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+      ("devex-pricing", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+      ("dense-inverse", Simplex.Partial, Ras_mip.Basis.Dense, Ras_mip.Basis.Hypersparse);
+      ("dense-oracle-kernels", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Dense_oracle);
+    ];
+  (* sparse-vs-dense kernels: same pricing, same LU factors — only the
+     triangular-solve traversal differs, so the pivot counts must be
+     identical (the differential pin) and the speedup is pure kernel
+     win. *)
+  let sp_wall = Hashtbl.find walls "devex-pricing" in
+  let dk_wall = Hashtbl.find walls "dense-oracle-kernels" in
+  let sp_piv = Hashtbl.find pivots "devex-pricing" in
+  let dk_piv = Hashtbl.find pivots "dense-oracle-kernels" in
+  let sp_obj = Hashtbl.find objs "devex-pricing" in
+  let dk_obj = Hashtbl.find objs "dense-oracle-kernels" in
+  let kernels_obj_agree =
+    (Float.is_nan sp_obj && Float.is_nan dk_obj)
+    || Float.abs (sp_obj -. dk_obj) <= 1e-9 *. Float.max 1.0 (Float.abs dk_obj)
+  in
+  Report.row "%-34s %.2fx wall speedup, pivots equal: %b, objectives agree: %b\n"
+    (Printf.sprintf "lp-%s sparse-vs-dense-kernels" label)
+    (dk_wall /. sp_wall) (sp_piv = dk_piv) kernels_obj_agree;
+  record
+    ~kernel:(Printf.sprintf "lp-%s-sparse-vs-dense-kernels" label)
+    ~size:(size_of std) ~wall_s:0.0
+    [
+      ("wall_speedup", flt (dk_wall /. sp_wall));
+      ("pivots_equal", string_of_bool (sp_piv = dk_piv));
+      ("objectives_agree", string_of_bool kernels_obj_agree);
+      ("sparse_pivots", string_of_int sp_piv);
+      ("dense_oracle_pivots", string_of_int dk_piv);
     ];
   (* eta-vs-dense: same pricing scheme, the basis backend is the only
      difference *)

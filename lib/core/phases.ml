@@ -111,6 +111,7 @@ let run ?params ?(mip_time_limit = 60.0) ?(mip_node_limit = 2000)
         warm_started_nodes = 0;
         dual_restarted_nodes = 0;
         dual_pivots = 0;
+        bound_flips = 0;
         bland_pivots = 0;
         seed = Branch_bound.Seed_none;
         elapsed = 0.0;

@@ -15,6 +15,38 @@
 
 type kind = Dense | Lu
 
+(* Solve-kernel selection, orthogonal to [kind].  [Hypersparse] runs the
+   triangular solves by graph traversal over the factor patterns, touching
+   only steps reachable from the right-hand side's nonzeros; [Dense_oracle]
+   runs the same arithmetic as full scans over every step.  Both perform
+   bit-identical floating-point operations on every reachable entry (the
+   skipped entries are structural zeros), so they are differentially
+   comparable pivot-for-pivot — the oracle is what pins the traversal
+   code. *)
+type kernels = Hypersparse | Dense_oracle
+
+let kernels_of_env () =
+  match Sys.getenv_opt "RAS_LP_KERNELS" with
+  | Some ("dense" | "DENSE" | "dense-oracle" | "dense_oracle") -> Dense_oracle
+  | Some _ | None -> Hypersparse
+
+(* Sparse vector: a packed, ascending index list over a dense value scratch
+   (zero outside the pattern).  The solve results below are returned in
+   svecs owned by the factorization; each is valid until the next call of
+   the same solve direction on the same [t]. *)
+module Svec = struct
+  type t = { mutable n : int; idx : int array; vals : float array }
+
+  let make m = { n = 0; idx = Array.make m 0; vals = Array.make m 0.0 }
+
+  (* zero the backing store and forget the pattern *)
+  let clear t =
+    for u = 0 to t.n - 1 do
+      t.vals.(t.idx.(u)) <- 0.0
+    done;
+    t.n <- 0
+end
+
 exception Singular
 
 (* Product-form eta from the pivot alpha = B^-1 a_q entering at basis
@@ -37,6 +69,13 @@ type lu = {
   ucols : int array array;  (* U row k: later elimination steps *)
   uvals : float array array;
   udiag : float array;
+  (* pattern-only views for the hypersparse reachability passes: [lsteps] is
+     [lrows] with constraint rows mapped to their elimination steps, and
+     [ltr]/[utr] are the transposed patterns of [lsteps]/[ucols] (step j ->
+     steps k < j whose L column / U row contains j) *)
+  lsteps : int array array;
+  ltr : int array array;
+  utr : int array array;
   mutable etas : eta array;
   mutable neta : int;
   mutable ennz : int;
@@ -49,11 +88,30 @@ type repr = Dense_r of dense | Lu_r of lu
 type t = {
   m : int;
   knd : kind;
+  mutable kern : kernels;
   mutable repr : repr;
   mutable updates : int;
   update_limit : int;
   mutable err : float;
   mutable refactors : int;
+  (* solve scratch owned by the factorization: the two svec results (FTRAN
+     and BTRAN directions are separate so a pivot can hold both at once), a
+     step-indexed workspace [wz] kept all-zero between calls, its pattern
+     [wzi], a traversal worklist, position/step marks, and a dense-path
+     buffer [wd] for the full-scan solves *)
+  sf : Svec.t;
+  sb : Svec.t;
+  wz : float array;
+  wzi : int array;
+  wstk : int array;
+  wmark : int array;
+  mutable wstamp : int;
+  wd : float array;
+  (* per-solve kernel counters (reset by {!reset_stats}) *)
+  mutable ftran_calls : int;
+  mutable ftran_nnz : int;
+  mutable btran_calls : int;
+  mutable btran_nnz : int;
   (* invoked after every successful refactorization: the owning solve hangs
      state off the factorization's lifetime (Devex pricing weights are only
      meaningful relative to the basis they were accumulated on, so the
@@ -92,15 +150,19 @@ let identity_lu m =
     ucols = Array.make m [||];
     uvals = Array.make m [||];
     udiag = Array.make m 1.0;
+    lsteps = Array.make m [||];
+    ltr = Array.make m [||];
+    utr = Array.make m [||];
     etas = [||];
     neta = 0;
     ennz = 0;
   }
 
-let create knd ~m =
+let create ?kernels knd ~m =
   {
     m;
     knd;
+    kern = (match kernels with Some k -> k | None -> kernels_of_env ());
     repr =
       (match knd with
       | Dense -> Dense_r { inv = identity_dense m; nzbuf = Array.make m 0 }
@@ -109,11 +171,46 @@ let create knd ~m =
     update_limit = (match knd with Dense -> dense_update_limit | Lu -> lu_update_limit);
     err = 0.0;
     refactors = 0;
+    sf = Svec.make m;
+    sb = Svec.make m;
+    wz = Array.make m 0.0;
+    wzi = Array.make m 0;
+    wstk = Array.make m 0;
+    wmark = Array.make m (-1);
+    wstamp = 0;
+    wd = Array.make m 0.0;
+    ftran_calls = 0;
+    ftran_nnz = 0;
+    btran_calls = 0;
+    btran_nnz = 0;
     on_refactor = ignore;
   }
 
 let kind t = t.knd
 let dim t = t.m
+let kernels t = t.kern
+let set_kernels t k = t.kern <- k
+
+type solve_stats = {
+  ftran_calls : int;
+  ftran_nnz : int;
+  btran_calls : int;
+  btran_nnz : int;
+}
+
+let solve_stats (t : t) =
+  {
+    ftran_calls = t.ftran_calls;
+    ftran_nnz = t.ftran_nnz;
+    btran_calls = t.btran_calls;
+    btran_nnz = t.btran_nnz;
+  }
+
+let reset_stats (t : t) =
+  t.ftran_calls <- 0;
+  t.ftran_nnz <- 0;
+  t.btran_calls <- 0;
+  t.btran_nnz <- 0
 let set_refactor_hook t f = t.on_refactor <- f
 let updates_since_refactor t = t.updates
 let refactor_count t = t.refactors
@@ -134,6 +231,19 @@ let copy t =
     t with
     (* the hook points into the donor solve's state; a copy starts detached *)
     on_refactor = ignore;
+    (* solve scratch and counters are per-holder, never shared *)
+    sf = Svec.make t.m;
+    sb = Svec.make t.m;
+    wz = Array.make t.m 0.0;
+    wzi = Array.make t.m 0;
+    wstk = Array.make t.m 0;
+    wmark = Array.make t.m (-1);
+    wstamp = 0;
+    wd = Array.make t.m 0.0;
+    ftran_calls = 0;
+    ftran_nnz = 0;
+    btran_calls = 0;
+    btran_nnz = 0;
     repr =
       (match t.repr with
       | Dense_r d -> Dense_r { inv = Array.map Array.copy d.inv; nzbuf = Array.make t.m 0 }
@@ -516,6 +626,31 @@ let lu_refactorize ?deficient m ~basis ~col =
       uvals.(k) <- Array.sub uv 0 !n
     end
   done;
+  (* pattern-only step views and their transposes, for the hypersparse
+     reachability passes (O(nnz) once per refactorization) *)
+  let lsteps = Array.make m [||] in
+  let lcnt = Array.make m 0 and ucnt = Array.make m 0 in
+  for k = 0 to m - 1 do
+    lsteps.(k) <- Array.map (fun r -> rpos.(r)) lrows.(k);
+    Array.iter (fun j -> lcnt.(j) <- lcnt.(j) + 1) lsteps.(k);
+    Array.iter (fun j -> ucnt.(j) <- ucnt.(j) + 1) ucols.(k)
+  done;
+  let ltr = Array.init m (fun j -> Array.make lcnt.(j) 0) in
+  let utr = Array.init m (fun j -> Array.make ucnt.(j) 0) in
+  Array.fill lcnt 0 m 0;
+  Array.fill ucnt 0 m 0;
+  for k = 0 to m - 1 do
+    Array.iter
+      (fun j ->
+        ltr.(j).(lcnt.(j)) <- k;
+        lcnt.(j) <- lcnt.(j) + 1)
+      lsteps.(k);
+    Array.iter
+      (fun j ->
+        utr.(j).(ucnt.(j)) <- k;
+        ucnt.(j) <- ucnt.(j) + 1)
+      ucols.(k)
+  done;
   {
     rperm;
     rpos;
@@ -526,6 +661,9 @@ let lu_refactorize ?deficient m ~basis ~col =
     ucols;
     uvals;
     udiag;
+    lsteps;
+    ltr;
+    utr;
     etas = [||];
     neta = 0;
     ennz = 0;
@@ -563,9 +701,9 @@ let refactorize_repaired t ~basis ~col =
 (* LU solves                                                           *)
 
 (* x := B0^-1 x through the triangular factors, where x arrives indexed by
-   constraint row and leaves indexed by basis position. *)
-let lu_solve lu m x =
-  let z = Array.make m 0.0 in
+   constraint row and leaves indexed by basis position.  [z] is a caller
+   scratch of length m (overwritten). *)
+let lu_solve lu m z x =
   (* forward: L z = P x, updating the row-indexed workspace in place (every
      L column only touches rows that pivot later) *)
   for k = 0 to m - 1 do
@@ -605,9 +743,9 @@ let apply_etas lu x =
     end
   done
 
-(* y := B0^-T y: input indexed by basis position, output by constraint row. *)
-let lu_solve_t lu m y =
-  let d = Array.make m 0.0 in
+(* y := B0^-T y: input indexed by basis position, output by constraint row.
+   [d] is a caller scratch of length m (overwritten). *)
+let lu_solve_t lu m d y =
   for k = 0 to m - 1 do
     d.(k) <- y.(lu.cperm.(k))
   done;
@@ -647,6 +785,306 @@ let apply_etas_t lu y =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Hypersparse traversal machinery                                     *)
+
+(* When the reach of a right-hand side exceeds this fraction of the steps,
+   graph traversal stops paying for itself (sort + worklist overhead on a
+   nearly-dense vector) and the solve falls back to the full scan for that
+   pass.  Results are unchanged either way — the scan performs the same
+   arithmetic — so the cap is purely a performance knob. *)
+let hyper_cap m = 16 + (m asr 2)
+
+(* In-place ascending sort of a.(lo..hi); the reach sets it orders are
+   duplicate-free. *)
+let rec qsort_ints (a : int array) lo hi =
+  if hi - lo > 12 then begin
+    let p = a.((lo + hi) lsr 1) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < p do
+        incr i
+      done;
+      while a.(!j) > p do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    qsort_ints a lo !j;
+    qsort_ints a !i hi
+  end
+  else
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+
+(* Drain the worklist (stack holds [sp] marked seed steps) over the step
+   adjacency [succ], collecting every reachable step into [out].  Returns
+   the reach size, or -1 once it exceeds [cap] (the caller falls back to the
+   full scan; the stale marks are invalidated by the next stamp bump). *)
+let drain_reach (succ : int array array) mark stamp (stack : int array) sp
+    (out : int array) cap =
+  let n = ref 0 in
+  let sp = ref sp in
+  let overflow = ref false in
+  while (not !overflow) && !sp > 0 do
+    decr sp;
+    let k = stack.(!sp) in
+    out.(!n) <- k;
+    incr n;
+    if !n > cap then overflow := true
+    else begin
+      let s = succ.(k) in
+      for u = 0 to Array.length s - 1 do
+        let j = s.(u) in
+        if mark.(j) <> stamp then begin
+          mark.(j) <- stamp;
+          stack.(!sp) <- j;
+          incr sp
+        end
+      done
+    end
+  done;
+  if !overflow then -1 else !n
+
+(* Forward pass L z = P x over the row-indexed workspace [vals], writing the
+   step-indexed result into [t.wz] and its (sorted, possibly zero-carrying)
+   pattern into [t.wzi].  Rows of [vals] touched by the pass are zeroed on
+   the way out.  Returns the pattern length, or -1 when the pass ran as a
+   full scan (the workspace then holds all m steps and [vals] is fully
+   cleared). *)
+let l_forward t lu nseed =
+  let m = t.m in
+  let vals = t.sf.Svec.vals in
+  let z = t.wz and pat = t.wzi in
+  let nl =
+    if t.kern = Hypersparse then
+      drain_reach lu.lsteps t.wmark t.wstamp t.wstk nseed pat (hyper_cap m)
+    else -1
+  in
+  if nl >= 0 then begin
+    qsort_ints pat 0 (nl - 1);
+    for u = 0 to nl - 1 do
+      let k = pat.(u) in
+      let zk = vals.(lu.rperm.(k)) in
+      z.(k) <- zk;
+      if zk <> 0.0 then begin
+        let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+        for w = 0 to Array.length lr - 1 do
+          vals.(lr.(w)) <- vals.(lr.(w)) -. (lv.(w) *. zk)
+        done
+      end
+    done;
+    (* every touched row is the rperm image of a reached step *)
+    for u = 0 to nl - 1 do
+      vals.(lu.rperm.(pat.(u))) <- 0.0
+    done;
+    nl
+  end
+  else begin
+    (* full scan: identical arithmetic over all steps, collecting the
+       nonzero pattern as it appears *)
+    let n = ref 0 in
+    for k = 0 to m - 1 do
+      let zk = vals.(lu.rperm.(k)) in
+      z.(k) <- zk;
+      if zk <> 0.0 then begin
+        pat.(!n) <- k;
+        incr n;
+        let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+        for w = 0 to Array.length lr - 1 do
+          vals.(lr.(w)) <- vals.(lr.(w)) -. (lv.(w) *. zk)
+        done
+      end
+    done;
+    Array.fill vals 0 m 0.0;
+    !n
+  end
+
+(* Back-substitution U y = z over the step workspace, given the (sorted)
+   candidate pattern from the forward pass.  Extends the pattern to the
+   reach over the transposed U rows and processes it in descending step
+   order; falls back to the full descending scan when the reach densifies.
+   Returns the final pattern length, or -1 for "all m steps". *)
+let u_backward t lu np =
+  let m = t.m in
+  let z = t.wz and pat = t.wzi in
+  let nu =
+    if t.kern = Hypersparse && np >= 0 then begin
+      t.wstamp <- t.wstamp + 1;
+      let stamp = t.wstamp in
+      let sp = ref 0 in
+      for u = 0 to np - 1 do
+        let k = pat.(u) in
+        t.wmark.(k) <- stamp;
+        t.wstk.(!sp) <- k;
+        incr sp
+      done;
+      drain_reach lu.utr t.wmark stamp t.wstk !sp pat (hyper_cap m)
+    end
+    else -1
+  in
+  if nu >= 0 then begin
+    qsort_ints pat 0 (nu - 1);
+    for u = nu - 1 downto 0 do
+      let k = pat.(u) in
+      let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+      let acc = ref z.(k) in
+      for w = 0 to Array.length uc - 1 do
+        acc := !acc -. (uv.(w) *. z.(uc.(w)))
+      done;
+      z.(k) <- !acc /. lu.udiag.(k)
+    done;
+    nu
+  end
+  else begin
+    for k = m - 1 downto 0 do
+      let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+      let acc = ref z.(k) in
+      for w = 0 to Array.length uc - 1 do
+        acc := !acc -. (uv.(w) *. z.(uc.(w)))
+      done;
+      z.(k) <- !acc /. lu.udiag.(k)
+    done;
+    -1
+  end
+
+(* Scatter the step workspace into [sv] through [perm] (dropping exact
+   zeros), clear the workspace, and leave the pattern sorted ascending. *)
+let emit_steps t (perm : int array) nu (sv : Svec.t) =
+  let m = t.m in
+  let z = t.wz and pat = t.wzi in
+  let vals = sv.Svec.vals and idx = sv.Svec.idx in
+  let n = ref 0 in
+  if nu >= 0 then begin
+    for u = 0 to nu - 1 do
+      let k = pat.(u) in
+      let zk = z.(k) in
+      z.(k) <- 0.0;
+      if zk <> 0.0 then begin
+        let p = perm.(k) in
+        vals.(p) <- zk;
+        idx.(!n) <- p;
+        incr n
+      end
+    done
+  end
+  else
+    for k = 0 to m - 1 do
+      let zk = z.(k) in
+      z.(k) <- 0.0;
+      if zk <> 0.0 then begin
+        let p = perm.(k) in
+        vals.(p) <- zk;
+        idx.(!n) <- p;
+        incr n
+      end
+    done;
+  qsort_ints idx 0 (!n - 1);
+  sv.Svec.n <- !n
+
+(* Sparse (pattern-tracked) product-form eta application over [sv]'s
+   position-indexed values.  Performs the same arithmetic as {!apply_etas}
+   on the nonzero entries; positions the dense code would only have written
+   a signed zero into are skipped, which the output filter erases anyway. *)
+let apply_etas_sparse t lu (sv : Svec.t) =
+  if lu.neta > 0 then begin
+    let vals = sv.Svec.vals and idx = sv.Svec.idx in
+    t.wstamp <- t.wstamp + 1;
+    let stamp = t.wstamp in
+    let mark = t.wmark in
+    for u = 0 to sv.Svec.n - 1 do
+      mark.(idx.(u)) <- stamp
+    done;
+    let n = ref sv.Svec.n in
+    for e = 0 to lu.neta - 1 do
+      let eta = lu.etas.(e) in
+      if mark.(eta.er) = stamp then begin
+        let xr = vals.(eta.er) /. eta.epiv in
+        vals.(eta.er) <- xr;
+        if xr <> 0.0 then begin
+          let rs = eta.erows and vs = eta.evals in
+          for u = 0 to Array.length rs - 1 do
+            let p = rs.(u) in
+            vals.(p) <- vals.(p) -. (vs.(u) *. xr);
+            if mark.(p) <> stamp then begin
+              mark.(p) <- stamp;
+              idx.(!n) <- p;
+              incr n
+            end
+          done
+        end
+      end
+    done;
+    (* re-filter: eta arithmetic can cancel entries to exact zero, and the
+       pattern gained the scatter targets *)
+    let k = ref 0 in
+    for u = 0 to !n - 1 do
+      let p = idx.(u) in
+      if vals.(p) <> 0.0 then begin
+        idx.(!k) <- p;
+        incr k
+      end
+      else vals.(p) <- 0.0
+    done;
+    qsort_ints idx 0 (!k - 1);
+    sv.Svec.n <- !k
+  end
+
+(* The transposed twin, position-indexed input: same arithmetic as
+   {!apply_etas_t} wherever it matters (an unwritten position differs from
+   the dense result only in the sign of zero). *)
+let apply_etas_t_sparse t lu (sv : Svec.t) =
+  if lu.neta > 0 then begin
+    let vals = sv.Svec.vals and idx = sv.Svec.idx in
+    t.wstamp <- t.wstamp + 1;
+    let stamp = t.wstamp in
+    let mark = t.wmark in
+    for u = 0 to sv.Svec.n - 1 do
+      mark.(idx.(u)) <- stamp
+    done;
+    let n = ref sv.Svec.n in
+    for e = lu.neta - 1 downto 0 do
+      let eta = lu.etas.(e) in
+      let rs = eta.erows and vs = eta.evals in
+      let s = ref 0.0 in
+      for u = 0 to Array.length rs - 1 do
+        s := !s +. (vs.(u) *. vals.(rs.(u)))
+      done;
+      if mark.(eta.er) = stamp || !s <> 0.0 then begin
+        vals.(eta.er) <- (vals.(eta.er) -. !s) /. eta.epiv;
+        if mark.(eta.er) <> stamp then begin
+          mark.(eta.er) <- stamp;
+          idx.(!n) <- eta.er;
+          incr n
+        end
+      end
+    done;
+    let k = ref 0 in
+    for u = 0 to !n - 1 do
+      let p = idx.(u) in
+      if vals.(p) <> 0.0 then begin
+        idx.(!k) <- p;
+        incr k
+      end
+      else vals.(p) <- 0.0
+    done;
+    qsort_ints idx 0 (!k - 1);
+    sv.Svec.n <- !k
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Public solves                                                       *)
 
 let ftran_dense t b =
@@ -664,7 +1102,7 @@ let ftran_dense t b =
     out
   | Lu_r lu ->
     let x = Array.copy b in
-    lu_solve lu t.m x;
+    lu_solve lu t.m t.wd x;
     apply_etas lu x;
     x
 
@@ -687,7 +1125,7 @@ let ftran_col t rows coefs =
     for k = 0 to Array.length rows - 1 do
       x.(rows.(k)) <- x.(rows.(k)) +. coefs.(k)
     done;
-    lu_solve lu t.m x;
+    lu_solve lu t.m t.wd x;
     apply_etas lu x;
     x
 
@@ -702,7 +1140,7 @@ let ftran_unit t r =
   | Lu_r lu ->
     let x = Array.make t.m 0.0 in
     x.(r) <- 1.0;
-    lu_solve lu t.m x;
+    lu_solve lu t.m t.wd x;
     apply_etas lu x;
     x
 
@@ -723,8 +1161,26 @@ let btran_dense t c =
   | Lu_r lu ->
     let y = Array.copy c in
     apply_etas_t lu y;
-    lu_solve_t lu t.m y;
+    lu_solve_t lu t.m t.wd y;
     y
+
+let btran_dense_into t c y =
+  match t.repr with
+  | Dense_r d ->
+    Array.fill y 0 t.m 0.0;
+    for i = 0 to t.m - 1 do
+      let ci = c.(i) in
+      if ci <> 0.0 then begin
+        let bi = d.inv.(i) in
+        for k = 0 to t.m - 1 do
+          y.(k) <- y.(k) +. (ci *. bi.(k))
+        done
+      end
+    done
+  | Lu_r lu ->
+    Array.blit c 0 y 0 t.m;
+    apply_etas_t lu y;
+    lu_solve_t lu t.m t.wd y
 
 let row_of_inverse t r =
   match t.repr with
@@ -733,8 +1189,215 @@ let row_of_inverse t r =
     let y = Array.make t.m 0.0 in
     y.(r) <- 1.0;
     apply_etas_t lu y;
-    lu_solve_t lu t.m y;
+    lu_solve_t lu t.m t.wd y;
     y
+
+(* ------------------------------------------------------------------ *)
+(* Sparse-result solves (the simplex hot path)                         *)
+
+(* B^-1 a for the sparse column in rows/coefs slots [off .. off+len-1].
+   Result in [t]'s FTRAN svec: valid until the next ftran_*_sparse on
+   [t]. *)
+let ftran_sparse t (rows : int array) (coefs : float array) ~off ~len =
+  let sv = t.sf in
+  Svec.clear sv;
+  (match t.repr with
+  | Dense_r d ->
+    (* dense-inverse oracle: row-times-column products, compacted *)
+    let vals = sv.Svec.vals and idx = sv.Svec.idx in
+    let n = ref 0 in
+    for i = 0 to t.m - 1 do
+      let bi = d.inv.(i) in
+      let acc = ref 0.0 in
+      for k = 0 to len - 1 do
+        acc := !acc +. (bi.(rows.(off + k)) *. coefs.(off + k))
+      done;
+      if !acc <> 0.0 then begin
+        vals.(i) <- !acc;
+        idx.(!n) <- i;
+        incr n
+      end
+    done;
+    sv.Svec.n <- !n
+  | Lu_r lu ->
+    let vals = sv.Svec.vals in
+    t.wstamp <- t.wstamp + 1;
+    let stamp = t.wstamp in
+    let nseed = ref 0 in
+    for k = 0 to len - 1 do
+      let r = rows.(off + k) in
+      vals.(r) <- vals.(r) +. coefs.(off + k);
+      let s = lu.rpos.(r) in
+      if t.wmark.(s) <> stamp then begin
+        t.wmark.(s) <- stamp;
+        t.wstk.(!nseed) <- s;
+        incr nseed
+      end
+    done;
+    let np = l_forward t lu !nseed in
+    let nu = u_backward t lu np in
+    emit_steps t lu.cperm nu sv;
+    apply_etas_sparse t lu sv);
+  t.ftran_calls <- t.ftran_calls + 1;
+  t.ftran_nnz <- t.ftran_nnz + sv.Svec.n;
+  sv
+
+let ftran_col_sparse t rows coefs ~off ~len = ftran_sparse t rows coefs ~off ~len
+
+let ftran_unit_sparse t r =
+  let sv = t.sf in
+  Svec.clear sv;
+  (match t.repr with
+  | Dense_r d ->
+    let vals = sv.Svec.vals and idx = sv.Svec.idx in
+    let n = ref 0 in
+    for i = 0 to t.m - 1 do
+      let v = d.inv.(i).(r) in
+      if v <> 0.0 then begin
+        vals.(i) <- v;
+        idx.(!n) <- i;
+        incr n
+      end
+    done;
+    sv.Svec.n <- !n
+  | Lu_r lu ->
+    sv.Svec.vals.(r) <- 1.0;
+    t.wstamp <- t.wstamp + 1;
+    let s = lu.rpos.(r) in
+    t.wmark.(s) <- t.wstamp;
+    t.wstk.(0) <- s;
+    let np = l_forward t lu 1 in
+    let nu = u_backward t lu np in
+    emit_steps t lu.cperm nu sv;
+    apply_etas_sparse t lu sv);
+  t.ftran_calls <- t.ftran_calls + 1;
+  t.ftran_nnz <- t.ftran_nnz + sv.Svec.n;
+  sv
+
+(* Row r of B^-1 (equivalently B^-T e_r) as a sparse row-indexed vector.
+   Result in [t]'s BTRAN svec: valid until the next btran_unit_sparse on
+   [t], and in particular across an interleaved FTRAN. *)
+let btran_unit_sparse t r =
+  let sv = t.sb in
+  Svec.clear sv;
+  (match t.repr with
+  | Dense_r d ->
+    let vals = sv.Svec.vals and idx = sv.Svec.idx in
+    let bi = d.inv.(r) in
+    let n = ref 0 in
+    for k = 0 to t.m - 1 do
+      let v = bi.(k) in
+      if v <> 0.0 then begin
+        vals.(k) <- v;
+        idx.(!n) <- k;
+        incr n
+      end
+    done;
+    sv.Svec.n <- !n
+  | Lu_r lu ->
+    let vals = sv.Svec.vals in
+    vals.(r) <- 1.0;
+    sv.Svec.idx.(0) <- r;
+    sv.Svec.n <- 1;
+    apply_etas_t_sparse t lu sv;
+    (* transfer the position-indexed pattern into the step workspace *)
+    let z = t.wz and pat = t.wzi in
+    t.wstamp <- t.wstamp + 1;
+    let stamp = t.wstamp in
+    let sp = ref 0 in
+    for u = 0 to sv.Svec.n - 1 do
+      let p = sv.Svec.idx.(u) in
+      let k = lu.cpos.(p) in
+      z.(k) <- vals.(p);
+      vals.(p) <- 0.0;
+      t.wmark.(k) <- stamp;
+      t.wstk.(!sp) <- k;
+      incr sp
+    done;
+    sv.Svec.n <- 0;
+    (* U^T forward, ascending over the reach (successors are later steps) *)
+    let nu =
+      if t.kern = Hypersparse then
+        drain_reach lu.ucols t.wmark stamp t.wstk !sp pat (hyper_cap t.m)
+      else -1
+    in
+    let nu =
+      if nu >= 0 then begin
+        qsort_ints pat 0 (nu - 1);
+        for u = 0 to nu - 1 do
+          let k = pat.(u) in
+          let dk = z.(k) /. lu.udiag.(k) in
+          z.(k) <- dk;
+          if dk <> 0.0 then begin
+            let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+            for w = 0 to Array.length uc - 1 do
+              z.(uc.(w)) <- z.(uc.(w)) -. (uv.(w) *. dk)
+            done
+          end
+        done;
+        nu
+      end
+      else begin
+        for k = 0 to t.m - 1 do
+          let dk = z.(k) /. lu.udiag.(k) in
+          z.(k) <- dk;
+          if dk <> 0.0 then begin
+            let uc = lu.ucols.(k) and uv = lu.uvals.(k) in
+            for w = 0 to Array.length uc - 1 do
+              z.(uc.(w)) <- z.(uc.(w)) -. (uv.(w) *. dk)
+            done
+          end
+        done;
+        -1
+      end
+    in
+    (* L^T backward, descending over the reach through the transposed L
+       pattern (each gather reads only later steps, already final) *)
+    let nl =
+      if nu >= 0 then begin
+        t.wstamp <- t.wstamp + 1;
+        let stamp = t.wstamp in
+        let sp = ref 0 in
+        for u = 0 to nu - 1 do
+          let k = pat.(u) in
+          t.wmark.(k) <- stamp;
+          t.wstk.(!sp) <- k;
+          incr sp
+        done;
+        drain_reach lu.ltr t.wmark stamp t.wstk !sp pat (hyper_cap t.m)
+      end
+      else -1
+    in
+    let nl =
+      if nl >= 0 then begin
+        qsort_ints pat 0 (nl - 1);
+        for u = nl - 1 downto 0 do
+          let k = pat.(u) in
+          let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+          let acc = ref z.(k) in
+          for w = 0 to Array.length lr - 1 do
+            acc := !acc -. (lv.(w) *. z.(lu.rpos.(lr.(w))))
+          done;
+          z.(k) <- !acc
+        done;
+        nl
+      end
+      else begin
+        for k = t.m - 1 downto 0 do
+          let lr = lu.lrows.(k) and lv = lu.lvals.(k) in
+          let acc = ref z.(k) in
+          for w = 0 to Array.length lr - 1 do
+            acc := !acc -. (lv.(w) *. z.(lu.rpos.(lr.(w))))
+          done;
+          z.(k) <- !acc
+        done;
+        -1
+      end
+    in
+    emit_steps t lu.rperm nl sv);
+  t.btran_calls <- t.btran_calls + 1;
+  t.btran_nnz <- t.btran_nnz + sv.Svec.n;
+  sv
 
 (* ------------------------------------------------------------------ *)
 (* Updates                                                             *)
@@ -764,6 +1427,54 @@ let update t ~alpha ~row =
         if i <> row && alpha.(i) <> 0.0 then begin
           rs.(!p) <- i;
           vs.(!p) <- alpha.(i);
+          incr p
+        end
+      done;
+      if lu.neta = Array.length lu.etas then begin
+        let cap = Stdlib.max 8 (2 * lu.neta) in
+        let bigger =
+          Array.make cap { er = 0; epiv = 1.0; erows = [||]; evals = [||] }
+        in
+        Array.blit lu.etas 0 bigger 0 lu.neta;
+        lu.etas <- bigger
+      end;
+      lu.etas.(lu.neta) <- { er = row; epiv = piv; erows = rs; evals = vs };
+      lu.neta <- lu.neta + 1;
+      lu.ennz <- lu.ennz + !nnz + 1);
+    t.updates <- t.updates + 1;
+    t.err <- t.err +. (1e-16 *. (!amax /. apiv));
+    true
+  end
+
+(* {!update} on a sparse alpha: the stability guards and the eta are derived
+   from the pattern alone (svec patterns carry no exact zeros, so the
+   resulting eta is identical to the dense scan's).  The {!Dense} backend
+   reads the svec's dense backing store directly. *)
+let update_sparse t ~(alpha : Svec.t) ~row =
+  let piv = alpha.Svec.vals.(row) in
+  let apiv = Float.abs piv in
+  let amax = ref 0.0 in
+  for u = 0 to alpha.Svec.n - 1 do
+    let a = Float.abs alpha.Svec.vals.(alpha.Svec.idx.(u)) in
+    if a > !amax then amax := a
+  done;
+  if apiv < pivot_abs_min || apiv < pivot_rel_min *. !amax then false
+  else if t.updates >= t.update_limit then false
+  else begin
+    (match t.repr with
+    | Dense_r d -> dense_update t.m d ~alpha:alpha.Svec.vals ~row
+    | Lu_r lu ->
+      let nnz = ref 0 in
+      for u = 0 to alpha.Svec.n - 1 do
+        if alpha.Svec.idx.(u) <> row then incr nnz
+      done;
+      let rs = Array.make !nnz 0 and vs = Array.make !nnz 0.0 in
+      let p = ref 0 in
+      for u = 0 to alpha.Svec.n - 1 do
+        let i = alpha.Svec.idx.(u) in
+        if i <> row then begin
+          rs.(!p) <- i;
+          vs.(!p) <- alpha.Svec.vals.(i);
           incr p
         end
       done;

@@ -28,6 +28,37 @@
 
 type kind = Dense | Lu
 
+type kernels = Hypersparse | Dense_oracle
+(** Solve-kernel selection, orthogonal to {!kind}.  [Hypersparse] runs the
+    triangular solves of the {!Lu} backend as graph traversals over the
+    factor patterns (Gilbert–Peierls-style reachability), touching only the
+    steps reachable from the right-hand side's nonzeros; [Dense_oracle]
+    runs the very same arithmetic as full scans over every step.  The two
+    perform bit-identical floating-point operations on every reachable
+    entry — the entries a traversal skips are structural zeros — so a solve
+    under either kernel takes the same pivot sequence, which is what the
+    sparse-vs-dense differential battery asserts.  A traversal whose reach
+    densifies past a fraction of the steps falls back to the full scan for
+    that pass (the fully-dense-column worst case), again without changing
+    any result. *)
+
+val kernels_of_env : unit -> kernels
+(** Kernel mode forced by the [RAS_LP_KERNELS] environment variable
+    ("dense" selects {!Dense_oracle}); {!Hypersparse} when unset.  CI runs
+    the test suite once under each. *)
+
+(** Sparse vector over a dense backing store: [idx.(0..n-1)] lists the
+    nonzero positions in ascending order and [vals] is zero outside them.
+    The sparse solves below return svecs owned by the factorization; each
+    is valid until the next solve of the same direction on the same
+    {!t}. *)
+module Svec : sig
+  type t = { mutable n : int; idx : int array; vals : float array }
+
+  val make : int -> t
+  val clear : t -> unit
+end
+
 type t
 (** Mutable factorization state for one m×m basis.  Not thread-safe; copy
     with {!copy} to share across solves (branch-and-bound snapshot
@@ -37,11 +68,17 @@ exception Singular
 (** Raised by {!refactorize} when the basis matrix is (numerically)
     singular.  The factorization is left unchanged. *)
 
-val create : kind -> m:int -> t
-(** Fresh factorization of the m×m identity (the all-slack basis). *)
+val create : ?kernels:kernels -> kind -> m:int -> t
+(** Fresh factorization of the m×m identity (the all-slack basis).
+    [kernels] defaults to {!kernels_of_env}. *)
 
 val kind : t -> kind
 val dim : t -> int
+val kernels : t -> kernels
+
+val set_kernels : t -> kernels -> unit
+(** Switch the solve kernel; takes effect on the next solve call (the
+    factors themselves are kernel-agnostic). *)
 
 val set_identity : t -> unit
 (** Reset to the identity factorization (cold all-slack start). *)
@@ -87,10 +124,48 @@ val btran_dense : t -> float array -> float array
     yᵀB = cᵀ for a cost vector [c] indexed by basis position.  The result
     is indexed by constraint row. *)
 
+val btran_dense_into : t -> float array -> float array -> unit
+(** [btran_dense_into t c y] is {!btran_dense} storing its result into the
+    caller buffer [y] (length m, fully overwritten) instead of allocating;
+    [c] and [y] must not alias.  The simplex phase-1 dual recompute runs
+    every iteration, and this keeps it allocation-free. *)
+
 val row_of_inverse : t -> int -> float array
 (** [row_of_inverse t r] is row [r] of B⁻¹ (equivalently B⁻ᵀe_r): the
     vector behind the dual-simplex pivot row and the incremental dual
     update. *)
+
+val ftran_col_sparse : t -> int array -> float array -> off:int -> len:int -> Svec.t
+(** [ftran_col_sparse t ind val_ ~off ~len] is {!ftran_col} on the packed
+    column slice [ind]/[val_].[off .. off+len-1], returned as a sparse
+    vector (see {!Svec} for the ownership rule).  Under {!Hypersparse} the
+    triangular passes visit only the steps reachable from the column's
+    nonzeros. *)
+
+val ftran_unit_sparse : t -> int -> Svec.t
+(** {!ftran_col_sparse} on the unit column e_r (slack columns). *)
+
+val btran_unit_sparse : t -> int -> Svec.t
+(** Sparse {!row_of_inverse}: row [r] of B⁻¹ as a sparse row-indexed
+    vector, in the factorization's BTRAN svec (separate from the FTRAN
+    svec, so a pivot may hold both at once). *)
+
+val update_sparse : t -> alpha:Svec.t -> row:int -> bool
+(** {!update} taking the FTRAN result in sparse form: the eta (and the
+    stability guards) are built from the pattern without scanning the full
+    column. *)
+
+type solve_stats = {
+  ftran_calls : int;
+  ftran_nnz : int;  (** total result nonzeros over all sparse FTRANs *)
+  btran_calls : int;
+  btran_nnz : int;
+}
+(** Sparse-solve counters since creation / the last {!reset_stats}: the
+    bench kernel rows derive [avg_ftran_nnz]/[avg_btran_nnz] from these. *)
+
+val solve_stats : t -> solve_stats
+val reset_stats : t -> unit
 
 val update : t -> alpha:float array -> row:int -> bool
 (** [update t ~alpha ~row] records the basis change that replaces the

@@ -14,6 +14,7 @@ type options = {
   lp_pricing : Simplex.pricing;
   lp_devex_carry : bool;
   lp_backend : Basis.kind;
+  lp_kernels : Basis.kernels option;
   dual_restart : bool;
 }
 
@@ -32,6 +33,7 @@ let default_options =
     lp_pricing = Simplex.Devex;
     lp_devex_carry = false;
     lp_backend = Basis.Lu;
+    lp_kernels = None;
     dual_restart = true;
   }
 
@@ -48,6 +50,7 @@ type outcome = {
   warm_started_nodes : int;
   dual_restarted_nodes : int;
   dual_pivots : int;
+  bound_flips : int;
   bland_pivots : int;
   seed : seed_status;
   elapsed : float;
@@ -180,7 +183,10 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
   let incumbent = ref None and incumbent_obj = ref infinity in
   let nodes = ref 0 and lp_iters = ref 0 and warm_nodes = ref 0 in
   let dual_nodes = ref 0 and dual_pivots = ref 0 in
-  let bland_pivots = ref 0 in
+  let bland_pivots = ref 0 and bound_flips = ref 0 in
+  (* every node LP is the same shape, so one workspace serves the whole
+     tree: the solver's per-node allocations collapse to O(1) arrays *)
+  let lp_ws = Simplex.create_workspace () in
   let inexact = ref false in
   (* an LP node hit its iteration limit: optimality can no longer be proven *)
   let dummy_node = { nlb = [||]; nub = [||]; depth = 0; wb = None } in
@@ -231,16 +237,18 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
       match
         Simplex.solve ~pricing:options.lp_pricing
           ~devex_carry:options.lp_devex_carry ~backend:options.lp_backend
+          ?kernels:options.lp_kernels ~ws:lp_ws
           ~dual_simplex:options.dual_restart ?basis ~lb:node.nlb ~ub:node.nub std
       with
       | Simplex.Infeasible _ -> ()
       | Simplex.Unbounded -> unbounded := true
       | Simplex.Iteration_limit _ -> inexact := true
       | Simplex.Optimal
-          { x; obj; iterations; dual_iterations; bland_iterations; basis = final_basis; _ }
+          { x; obj; iterations; dual_iterations; bland_iterations; basis = final_basis; kstats; _ }
         ->
         lp_iters := !lp_iters + iterations;
         bland_pivots := !bland_pivots + bland_iterations;
+        bound_flips := !bound_flips + kstats.Simplex.bound_flips;
         if dual_iterations > 0 then begin
           incr dual_nodes;
           dual_pivots := !dual_pivots + dual_iterations
@@ -389,6 +397,7 @@ let solve_presolved ?(options = default_options) (std : Model.std) =
     warm_started_nodes = !warm_nodes;
     dual_restarted_nodes = !dual_nodes;
     dual_pivots = !dual_pivots;
+    bound_flips = !bound_flips;
     bland_pivots = !bland_pivots;
     seed = !seed_status;
     elapsed = elapsed ();
@@ -473,6 +482,7 @@ let solve ?(options = default_options) (std : Model.std) =
       warm_started_nodes = 0;
       dual_restarted_nodes = 0;
       dual_pivots = 0;
+      bound_flips = 0;
       bland_pivots = 0;
       seed = (if options.initial = None then Seed_none else Seed_rejected);
       elapsed = 0.0;

@@ -66,6 +66,10 @@ type options = {
   lp_backend : Basis.kind;
       (** basis representation for every node LP ({!Basis.Lu} by default;
           {!Basis.Dense} is the differential-testing oracle) *)
+  lp_kernels : Basis.kernels option;
+      (** triangular-solve kernels for every node LP, forwarded to
+          {!Simplex.solve}'s [kernels]; [None] (the default) defers to
+          {!Basis.kernels_of_env} *)
   dual_restart : bool;
       (** re-optimize warm-started children with the dual simplex phase;
           disable to get PR-1's primal-restart behaviour (benchmarking,
@@ -77,7 +81,7 @@ val default_options : options
     [gap_rel = 1e-9], [int_tol = 1e-6], [heuristic_period = 20], no initial
     solution, [warm_start = true], [lp_pricing = Simplex.Devex],
     [lp_devex_carry = false], [lp_backend = Basis.Lu],
-    [dual_restart = true]. *)
+    [lp_kernels = None], [dual_restart = true]. *)
 
 type seed_status =
   | Seed_none  (** no initial solution was supplied *)
@@ -103,6 +107,9 @@ type outcome = {
   dual_restarted_nodes : int;
       (** warm-started nodes whose LP re-optimized via dual-simplex pivots *)
   dual_pivots : int;  (** total dual-simplex pivots across all node LPs *)
+  bound_flips : int;
+      (** total nonbasic bound flips performed by the long-step dual ratio
+          test across all node LPs (see {!Simplex.kernel_stats}) *)
   bland_pivots : int;
       (** total primal pivots taken under the Bland anti-cycling fallback
           across all node LPs (nonzero means some node hit a degenerate

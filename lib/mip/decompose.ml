@@ -274,6 +274,7 @@ let solve ?(options = Branch_bound.default_options) ?pool ?(max_repair_moves = 1
       warm_started_nodes = sum (fun o -> o.Branch_bound.warm_started_nodes);
       dual_restarted_nodes = sum (fun o -> o.Branch_bound.dual_restarted_nodes);
       dual_pivots = sum (fun o -> o.Branch_bound.dual_pivots);
+      bound_flips = sum (fun o -> o.Branch_bound.bound_flips);
       bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
       (* worst sub-seed outcome: a single rejected slice means the merged
          warm start was not fully honoured *)

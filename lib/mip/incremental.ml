@@ -225,16 +225,20 @@ let apply ~(prev : Model.std) t =
      by count, then fill in row order *)
   let col_count = Array.make nvars 0 in
   Array.iter (fun cols -> Array.iter (fun v -> col_count.(v) <- col_count.(v) + 1) cols) row_cols;
-  let col_rows = Array.init nvars (fun v -> Array.make col_count.(v) 0) in
-  let col_coefs = Array.init nvars (fun v -> Array.make col_count.(v) 0.0) in
-  let col_fill = Array.make nvars 0 in
+  let col_ptr = Array.make (nvars + 1) 0 in
+  for v = 0 to nvars - 1 do
+    col_ptr.(v + 1) <- col_ptr.(v) + col_count.(v)
+  done;
+  let col_ind = Array.make col_ptr.(nvars) 0 in
+  let col_val = Array.make col_ptr.(nvars) 0.0 in
+  let col_fill = Array.blit col_ptr 0 col_count 0 nvars; col_count in
   for i = 0 to nrows - 1 do
     let cols = row_cols.(i) and coefs = row_coefs.(i) in
     for k = 0 to Array.length cols - 1 do
       let v = cols.(k) in
       let f = col_fill.(v) in
-      col_rows.(v).(f) <- i;
-      col_coefs.(v).(f) <- coefs.(k);
+      col_ind.(f) <- i;
+      col_val.(f) <- coefs.(k);
       col_fill.(v) <- f + 1
     done
   done;
@@ -248,8 +252,9 @@ let apply ~(prev : Model.std) t =
     integer = Array.map (fun v -> v.vinteger) t.vars;
     row_sense = Array.map (fun r -> r.rsense) t.rows;
     rhs = Array.map (fun r -> r.rrhs) t.rows;
-    col_rows;
-    col_coefs;
+    col_ptr;
+    col_ind;
+    col_val;
     row_cols;
     row_coefs;
     var_names = Array.map (fun v -> v.vname) t.vars;

@@ -101,8 +101,9 @@ type std = {
   integer : bool array;
   row_sense : sense array;
   rhs : float array;
-  col_rows : int array array;
-  col_coefs : float array array;
+  col_ptr : int array;
+  col_ind : int array;
+  col_val : float array;
   row_cols : int array array;
   row_coefs : float array array;
   var_names : string array;
@@ -136,9 +137,15 @@ let compile (t : t) =
       in
       List.iter count ts)
     rows;
-  let col_rows = Array.init nvars (fun v -> Array.make col_count.(v) 0) in
-  let col_coefs = Array.init nvars (fun v -> Array.make col_count.(v) 0.0) in
-  let col_fill = Array.make nvars 0 in
+  (* packed CSC: col_ptr.(v) .. col_ptr.(v+1)-1 index into col_ind/col_val *)
+  let col_ptr = Array.make (nvars + 1) 0 in
+  for v = 0 to nvars - 1 do
+    col_ptr.(v + 1) <- col_ptr.(v) + col_count.(v)
+  done;
+  let nnz = col_ptr.(nvars) in
+  let col_ind = Array.make nnz 0 in
+  let col_val = Array.make nnz 0.0 in
+  let col_fill = Array.blit col_ptr 0 col_count 0 nvars; col_count in
   Array.iteri
     (fun i _ ->
       let ts = List.filter (fun (c, _) -> c <> 0.0) terms_of.(i) in
@@ -146,8 +153,8 @@ let compile (t : t) =
       row_coefs.(i) <- Array.of_list (List.map fst ts);
       let fill (c, v) =
         let k = col_fill.(v) in
-        col_rows.(v).(k) <- i;
-        col_coefs.(v).(k) <- c;
+        col_ind.(k) <- i;
+        col_val.(k) <- c;
         col_fill.(v) <- k + 1
       in
       List.iter fill ts)
@@ -162,8 +169,9 @@ let compile (t : t) =
     integer = Array.init nvars (fun v -> t.vars.(v).vkind = Integer);
     row_sense;
     rhs;
-    col_rows;
-    col_coefs;
+    col_ptr;
+    col_ind;
+    col_val;
     row_cols;
     row_coefs;
     var_names = Array.init nvars (fun v -> t.vars.(v).vname);
@@ -203,5 +211,5 @@ let check_solution ?(tol = 1e-6) std x =
 
 let pp_stats ppf std =
   let nint = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 std.integer in
-  let nnz = Array.fold_left (fun acc a -> acc + Array.length a) 0 std.col_rows in
+  let nnz = std.col_ptr.(std.nvars) in
   Format.fprintf ppf "vars=%d (int=%d) rows=%d nnz=%d" std.nvars nint std.nrows nnz

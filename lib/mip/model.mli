@@ -72,8 +72,12 @@ type std = {
   integer : bool array;
   row_sense : sense array;
   rhs : float array;
-  col_rows : int array array;  (** per-column row indices (sorted) *)
-  col_coefs : float array array;  (** matching coefficients *)
+  col_ptr : int array;
+      (** packed CSC column pointers, length [nvars + 1]: column [j]'s
+          nonzeros are [col_ind]/[col_val] slots [col_ptr.(j)] to
+          [col_ptr.(j+1) - 1] (row indices sorted ascending) *)
+  col_ind : int array;  (** packed CSC row indices *)
+  col_val : float array;  (** packed CSC coefficients *)
   row_cols : int array array;  (** per-row column indices (sorted) *)
   row_coefs : float array array;
   var_names : string array;

@@ -35,9 +35,10 @@ let to_buffer buf ?(name = "RAS") (std : Model.std) =
     set_integer std.Model.integer.(j);
     let vname = sanitize std.Model.var_names.(j) in
     if std.Model.obj.(j) <> 0.0 then add "    %-10s OBJ       %.12g\n" vname std.Model.obj.(j);
-    let rows = std.Model.col_rows.(j) and coefs = std.Model.col_coefs.(j) in
-    for k = 0 to Array.length rows - 1 do
-      add "    %-10s %-10s %.12g\n" vname (sanitize std.Model.row_names.(rows.(k))) coefs.(k)
+    for k = std.Model.col_ptr.(j) to std.Model.col_ptr.(j + 1) - 1 do
+      add "    %-10s %-10s %.12g\n" vname
+        (sanitize std.Model.row_names.(std.Model.col_ind.(k)))
+        std.Model.col_val.(k)
     done
   done;
   set_integer false;

@@ -196,15 +196,20 @@ let run (std : Model.std) =
        live_rows;
      let col_count = Array.make n 0 in
      Array.iter (Array.iter (fun j -> col_count.(j) <- col_count.(j) + 1)) row_cols;
-     let col_rows = Array.init n (fun j -> Array.make col_count.(j) 0) in
-     let col_coefs = Array.init n (fun j -> Array.make col_count.(j) 0.0) in
-     let fill = Array.make n 0 in
+     (* packed CSC, derived exactly as Model.compile derives it *)
+     let col_ptr = Array.make (n + 1) 0 in
+     for j = 0 to n - 1 do
+       col_ptr.(j + 1) <- col_ptr.(j) + col_count.(j)
+     done;
+     let col_ind = Array.make col_ptr.(n) 0 in
+     let col_val = Array.make col_ptr.(n) 0.0 in
+     let fill = Array.blit col_ptr 0 col_count 0 n; col_count in
      Array.iteri
        (fun i cols ->
          Array.iteri
            (fun k j ->
-             col_rows.(j).(fill.(j)) <- i;
-             col_coefs.(j).(fill.(j)) <- row_coefs.(i).(k);
+             col_ind.(fill.(j)) <- i;
+             col_val.(fill.(j)) <- row_coefs.(i).(k);
              fill.(j) <- fill.(j) + 1)
            cols)
        row_cols;
@@ -224,8 +229,9 @@ let run (std : Model.std) =
              ub;
              row_sense;
              rhs;
-             col_rows;
-             col_coefs;
+             col_ptr;
+             col_ind;
+             col_val;
              row_cols;
              row_coefs;
              row_names;

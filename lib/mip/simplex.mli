@@ -84,6 +84,35 @@ type warm_basis = {
     on any mismatch, so a stale snapshot degrades performance, not
     correctness. *)
 
+type kernel_stats = {
+  avg_ftran_nnz : float;
+      (** Mean nonzeros per sparse FTRAN result over the whole solve.  The
+          hypersparse win is exactly this (and its BTRAN twin) staying far
+          below the row count [m]; under {!Basis.Dense_oracle} the work is
+          O(m) regardless, but the counters still measure result density. *)
+  avg_btran_nnz : float;
+  bound_flips : int;
+      (** Nonbasic bound flips performed by the long-step (bound-flip) dual
+          ratio test during the dual re-optimization phase.  Each flip
+          retires one breakpoint without a basis change; a cluster of flips
+          plus one pivot replaces what a textbook dual ratio test does in
+          many pivots. *)
+}
+(** Solve-kernel counters for one solve, reported by {!result.Optimal} and
+    surfaced in the bench kernel rows. *)
+
+type workspace
+(** Reusable per-solve scratch: all the O(rows + columns) working arrays a
+    solve allocates.  Pass the same workspace to consecutive [solve] calls
+    on same-shaped models (the branch-and-bound node loop) to make the
+    solver's own allocation per solve O(1) arrays instead of O(solve
+    count × problem size); a dimension mismatch transparently reallocates.
+    A workspace must not be shared across concurrent solves (one per
+    domain). *)
+
+val create_workspace : unit -> workspace
+(** An empty workspace; arrays are sized on first use. *)
+
 type result =
   | Optimal of {
       x : float array;
@@ -93,6 +122,7 @@ type result =
       bland_iterations : int;
       duals : float array;
       basis : warm_basis;
+      kstats : kernel_stats;
     }
       (** [x] has one entry per structural variable; [obj] includes the
           model's objective offset; [duals] holds one simplex multiplier per
@@ -121,6 +151,8 @@ val solve :
   ?devex_reset_period:int ->
   ?trace:(iteration:int -> min_devex_weight:float -> unit) ->
   ?backend:Basis.kind ->
+  ?kernels:Basis.kernels ->
+  ?ws:workspace ->
   ?dual_simplex:bool ->
   ?basis:warm_basis ->
   ?lb:float array ->
@@ -142,8 +174,12 @@ val solve :
     called after every primal pivot with the iteration count and the
     minimum weight over all columns (test instrumentation).  [backend]
     selects the basis representation ([Basis.Lu] by default; [Basis.Dense]
-    is the reference oracle used by the differential tests).
-    [dual_simplex:false] disables the dual re-optimization phase on warm
-    starts (the differential reference configuration).  Defaults:
-    [max_iters] scales with problem size, [feas_tol = 1e-7],
-    [dual_tol = 1e-7]. *)
+    is the reference oracle used by the differential tests).  [kernels]
+    selects the triangular-solve kernels ({!Basis.Hypersparse} /
+    {!Basis.Dense_oracle}); the default comes from
+    {!Basis.kernels_of_env}, and the two modes take bit-identical pivot
+    sequences (the sparse-vs-dense differential battery's invariant).
+    [ws] supplies a reusable {!workspace}.  [dual_simplex:false] disables
+    the dual re-optimization phase on warm starts (the differential
+    reference configuration).  Defaults: [max_iters] scales with problem
+    size, [feas_tol = 1e-7], [dual_tol = 1e-7]. *)

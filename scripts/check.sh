@@ -7,8 +7,14 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (hypersparse kernels) =="
+RAS_LP_KERNELS=sparse dune runtest
+
+# the same suite again with the dense-oracle triangular-solve kernels
+# forced: the two modes take bit-identical pivot sequences, so every test
+# must pass under either (--force because dune does not track the env var)
+echo "== dune runtest (dense-oracle kernels) =="
+RAS_LP_KERNELS=dense dune runtest --force
 
 echo "== bench smoke (kernels --quick, incl. continuous-loop rows) =="
 dune exec bench/main.exe -- --quick kernels

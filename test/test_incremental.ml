@@ -175,8 +175,9 @@ let std_equal (a : Model.std) (b : Model.std) =
   && a.Model.integer = b.Model.integer
   && a.Model.row_sense = b.Model.row_sense
   && a.Model.rhs = b.Model.rhs
-  && a.Model.col_rows = b.Model.col_rows
-  && a.Model.col_coefs = b.Model.col_coefs
+  && a.Model.col_ptr = b.Model.col_ptr
+  && a.Model.col_ind = b.Model.col_ind
+  && a.Model.col_val = b.Model.col_val
   && a.Model.row_cols = b.Model.row_cols
   && a.Model.row_coefs = b.Model.row_coefs
   && a.Model.var_names = b.Model.var_names

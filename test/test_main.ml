@@ -11,6 +11,7 @@ let suites =
     ("mip", Test_mip.suite);
     ("basis", Test_basis.suite);
     ("differential", Test_differential.suite);
+    ("sparse_kernels", Test_sparse_kernels.suite);
     ("decompose", Test_decompose.suite);
     ("warmstart", Test_warmstart.suite);
     ("incremental", Test_incremental.suite);

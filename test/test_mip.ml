@@ -513,6 +513,14 @@ let golden_fixtures =
     ("fixed_var.lp", Lp_opt 4.0);
     ("mip_knapsack.lp", Mip_opt (-9.0));
     ("mip_infeasible.lp", Mip_infeas);
+    (* x1 = x2 = 1, x3 = 0.5 basic; tightening x3's upper bound to 0 turns
+       the dual re-optimization into two bound flips plus one pivot — the
+       warm-restart side lives in test_sparse_kernels.ml *)
+    ("bound_flip.lp", Lp_opt (-10.5));
+    (* d appears in every row, so its FTRAN reach is the whole factor
+       pattern: the hypersparse traversal must fall back to the full scan
+       and still agree with the oracle (d = 4 caps every row, x_i = 0) *)
+    ("dense_col.lp", Lp_opt (-80.0));
   ]
 
 let load_fixture name =
