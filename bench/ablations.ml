@@ -35,10 +35,7 @@ let run_symmetry () =
       let t_rack = Unix.gettimeofday () -. t0 in
       Report.row
         "%-8s per-server vars %6d | MSB-grouped %5d (build %.2fs, %s) | rack-grouped %5d (build %.2fs, %s)\n"
-        (match preset with
-        | Scenarios.Small -> "small"
-        | Scenarios.Medium -> "medium"
-        | Scenarios.Wide -> "wide")
+        (Scenarios.label_of preset)
         (Ras.Symmetry.raw_variable_count msb_level ~reservations)
         (Ras.Symmetry.grouped_variable_count msb_level ~reservations)
         t_grouped

@@ -102,7 +102,7 @@ let size_of (std : Model.std) = Printf.sprintf "nvars=%d nrows=%d" std.Model.nva
 (* ---------------------------------------------------------------- *)
 (* LP kernel: pivots/sec under the two pricing schemes               *)
 
-let lp_kernel ~label ~repeats (std : Model.std) =
+let lp_kernel ~label ~repeats ?(with_dense = true) (std : Model.std) =
   let ws = Simplex.create_workspace () in
   let run pricing backend kernels =
     let t0 = Unix.gettimeofday () in
@@ -148,13 +148,15 @@ let lp_kernel ~label ~repeats (std : Model.std) =
           ("avg_btran_nnz", flt ks.Simplex.avg_btran_nnz);
           ("bound_flips", string_of_int ks.Simplex.bound_flips);
         ])
-    [
-      ("dantzig-pricing", Simplex.Dantzig, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
-      ("partial-pricing", Simplex.Partial, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
-      ("devex-pricing", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
-      ("dense-inverse", Simplex.Partial, Ras_mip.Basis.Dense, Ras_mip.Basis.Hypersparse);
-      ("dense-oracle-kernels", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Dense_oracle);
-    ];
+    ([
+       ("dantzig-pricing", Simplex.Dantzig, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+       ("partial-pricing", Simplex.Partial, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+       ("devex-pricing", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Hypersparse);
+     ]
+    @ (if with_dense then
+         [ ("dense-inverse", Simplex.Partial, Ras_mip.Basis.Dense, Ras_mip.Basis.Hypersparse) ]
+       else [])
+    @ [ ("dense-oracle-kernels", Simplex.Devex, Ras_mip.Basis.Lu, Ras_mip.Basis.Dense_oracle) ]);
   (* sparse-vs-dense kernels: same pricing, same LU factors — only the
      triangular-solve traversal differs, so the pivot counts must be
      identical (the differential pin) and the speedup is pure kernel
@@ -183,25 +185,28 @@ let lp_kernel ~label ~repeats (std : Model.std) =
       ("dense_oracle_pivots", string_of_int dk_piv);
     ];
   (* eta-vs-dense: same pricing scheme, the basis backend is the only
-     difference *)
-  let lu_rate = Hashtbl.find rates "partial-pricing" in
-  let dn_rate = Hashtbl.find rates "dense-inverse" in
-  let lu_obj = Hashtbl.find objs "partial-pricing" in
-  let dn_obj = Hashtbl.find objs "dense-inverse" in
-  let obj_agree =
-    (Float.is_nan lu_obj && Float.is_nan dn_obj)
-    || Float.abs (lu_obj -. dn_obj) <= 1e-4 *. Float.max 1.0 (Float.abs dn_obj)
-  in
-  Report.row "%-34s %.2fx pivots/s speedup, objectives agree: %b\n"
-    (Printf.sprintf "lp-%s eta-vs-dense" label)
-    (lu_rate /. dn_rate) obj_agree;
-  record
-    ~kernel:(Printf.sprintf "lp-%s-eta-vs-dense" label)
-    ~size:(size_of std) ~wall_s:0.0
-    [
-      ("pivots_per_sec_ratio", flt (lu_rate /. dn_rate));
-      ("objectives_agree", string_of_bool obj_agree);
-    ];
+     difference.  The dense inverse refactorizes in O(m^3), so this variant
+     only runs where [with_dense] allows it. *)
+  if with_dense then begin
+    let lu_rate = Hashtbl.find rates "partial-pricing" in
+    let dn_rate = Hashtbl.find rates "dense-inverse" in
+    let lu_obj = Hashtbl.find objs "partial-pricing" in
+    let dn_obj = Hashtbl.find objs "dense-inverse" in
+    let obj_agree =
+      (Float.is_nan lu_obj && Float.is_nan dn_obj)
+      || Float.abs (lu_obj -. dn_obj) <= 1e-4 *. Float.max 1.0 (Float.abs dn_obj)
+    in
+    Report.row "%-34s %.2fx pivots/s speedup, objectives agree: %b\n"
+      (Printf.sprintf "lp-%s eta-vs-dense" label)
+      (lu_rate /. dn_rate) obj_agree;
+    record
+      ~kernel:(Printf.sprintf "lp-%s-eta-vs-dense" label)
+      ~size:(size_of std) ~wall_s:0.0
+      [
+        ("pivots_per_sec_ratio", flt (lu_rate /. dn_rate));
+        ("objectives_agree", string_of_bool obj_agree);
+      ]
+  end;
   (* pricing-rule comparison on the same (LU) backend: total pivot counts,
      not just rates, so iteration-count claims live in the JSON.  The
      acceptance ratio is pivots(devex)/pivots(partial): < 1 means Devex
@@ -229,7 +234,7 @@ let lp_kernel ~label ~repeats (std : Model.std) =
 (* ---------------------------------------------------------------- *)
 (* B&B kernel: nodes/sec cold (seed behaviour) vs warm-started       *)
 
-let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
+let bb_kernel ~label ~node_limit ~time_limit ?(with_dense = true) (std : Model.std) =
   let run name opts =
     let t0 = Unix.gettimeofday () in
     let out = Branch_bound.solve ~options:opts std in
@@ -269,28 +274,32 @@ let bb_kernel ~label ~node_limit ~time_limit (std : Model.std) =
       ~size:(size_of std) ~wall_s:0.0
       [ ("nodes_per_sec_ratio", flt (num_rate /. den_rate)); ("bounds_agree", string_of_bool ok) ]
   in
-  (* seed behaviour: cold starts, full pricing, dense inverse *)
-  let cold, cold_rate =
-    run
-      (Printf.sprintf "bb-%s-cold" label)
-      {
-        base with
-        Branch_bound.warm_start = false;
-        lp_pricing = Simplex.Dantzig;
-        lp_backend = Ras_mip.Basis.Dense;
-        dual_restart = false;
-      }
-  in
-  (* PR-1 behaviour: warm primal restarts on the dense inverse *)
-  let primal, primal_rate =
-    run
-      (Printf.sprintf "bb-%s-warm-primal-dense" label)
-      { base with Branch_bound.lp_backend = Ras_mip.Basis.Dense; dual_restart = false }
-  in
   (* current default: warm dual-simplex restarts on the factorized basis *)
   let dual, dual_rate = run (Printf.sprintf "bb-%s-warm-dual-lu" label) base in
-  speedup "warm-vs-cold" dual_rate cold_rate (agree cold dual);
-  speedup "dual-vs-primal" dual_rate primal_rate (agree primal dual);
+  (* the historical baselines both run on the dense inverse (O(m^3) per
+     refactorization), so they are gated off at region-scale model sizes *)
+  if with_dense then begin
+    (* seed behaviour: cold starts, full pricing, dense inverse *)
+    let cold, cold_rate =
+      run
+        (Printf.sprintf "bb-%s-cold" label)
+        {
+          base with
+          Branch_bound.warm_start = false;
+          lp_pricing = Simplex.Dantzig;
+          lp_backend = Ras_mip.Basis.Dense;
+          dual_restart = false;
+        }
+    in
+    (* PR-1 behaviour: warm primal restarts on the dense inverse *)
+    let primal, primal_rate =
+      run
+        (Printf.sprintf "bb-%s-warm-primal-dense" label)
+        { base with Branch_bound.lp_backend = Ras_mip.Basis.Dense; dual_restart = false }
+    in
+    speedup "warm-vs-cold" dual_rate cold_rate (agree cold dual);
+    speedup "dual-vs-primal" dual_rate primal_rate (agree primal dual)
+  end;
   (* Devex weights across warm restarts: carry the parent's reference
      framework into the child vs reset it — the ISSUE asks for both to be
      measured.  Same search tree either way (pricing changes pivot order
@@ -541,6 +550,78 @@ let run_micro () =
     results
 
 (* ---------------------------------------------------------------- *)
+(* Preset rows: one record per scenario size drives every kernel      *)
+(* section below, so a new size inherits the same knob structure      *)
+(* instead of a copy-pasted block per kernel.  A zero                 *)
+(* repeats/limit/rounds skips that kernel for the row; [with_dense]   *)
+(* gates the O(m^3) dense-inverse baselines, intractable at the       *)
+(* region-scale row's model size.                                     *)
+
+type preset_row = {
+  label : string;
+  preset : Scenarios.preset;
+  lp_repeats : int;
+  bb_node_limit : int;
+  bb_time_limit : float;
+  loop_rounds : int;
+  decompose_node_limit : int;
+  decompose_time_limit : float;
+  with_dense : bool;
+}
+
+(* evaluated at run time so the [Scenarios.quick] flag (set by the CLI) is
+   already in effect *)
+let preset_rows () =
+  [
+    {
+      label = "small";
+      preset = Scenarios.Small;
+      lp_repeats = Scenarios.scaled 8;
+      bb_node_limit = Scenarios.scaled 120;
+      bb_time_limit = 60.0;
+      loop_rounds = 0;
+      decompose_node_limit = 0;
+      decompose_time_limit = 0.0;
+      with_dense = true;
+    };
+    {
+      label = "medium";
+      preset = Scenarios.Medium;
+      lp_repeats = 2;
+      bb_node_limit = (if !Scenarios.quick then 24 else 60);
+      bb_time_limit = 120.0;
+      loop_rounds = (if !Scenarios.quick then 4 else 10);
+      decompose_node_limit = (if !Scenarios.quick then 24 else 60);
+      decompose_time_limit = 120.0;
+      with_dense = true;
+    };
+    {
+      label = "wide";
+      preset = Scenarios.Wide;
+      lp_repeats = 0;
+      bb_node_limit = 0;
+      bb_time_limit = 0.0;
+      loop_rounds = 0;
+      decompose_node_limit = (if !Scenarios.quick then 12 else 40);
+      decompose_time_limit = 120.0;
+      with_dense = true;
+    };
+    (* the north-star row: the 10^6-server preset.  Symmetry aggregation
+       keeps the compiled model within ~2x of medium, so every enabled
+       kernel runs in the same regime — only the dense O(m^3) baselines
+       are gated off. *)
+    {
+      label = "large";
+      preset = Scenarios.Region_scale;
+      lp_repeats = (if !Scenarios.quick then 1 else 2);
+      bb_node_limit = (if !Scenarios.quick then 8 else 40);
+      bb_time_limit = 120.0;
+      loop_rounds = (if !Scenarios.quick then 2 else 6);
+      decompose_node_limit = 0;
+      decompose_time_limit = 0.0;
+      with_dense = false;
+    };
+  ]
 
 let run () =
   json_entries := [];
@@ -549,25 +630,32 @@ let run () =
     ~expect:"warm-started B&B >= 2x nodes/s over cold starts at medium scale";
   Report.row "-- bechamel micro-benchmarks --\n";
   run_micro ();
+  let rows = List.map (fun r -> (r, lazy (scenario_std r.preset))) (preset_rows ()) in
   Report.row "-- LP pricing (Table-1 scenario sizes) --\n";
-  let small = scenario_std Scenarios.Small in
-  let medium = scenario_std Scenarios.Medium in
-  lp_kernel ~label:"small" ~repeats:(Scenarios.scaled 8) small;
-  lp_kernel ~label:"medium" ~repeats:2 medium;
+  List.iter
+    (fun (r, std) ->
+      if r.lp_repeats > 0 then
+        lp_kernel ~label:r.label ~repeats:r.lp_repeats ~with_dense:r.with_dense
+          (Lazy.force std))
+    rows;
   Report.row "-- branch-and-bound warm starts --\n";
-  bb_kernel ~label:"small" ~node_limit:(Scenarios.scaled 120) ~time_limit:60.0 small;
-  bb_kernel ~label:"medium"
-    ~node_limit:(if !Scenarios.quick then 24 else 60)
-    ~time_limit:120.0 medium;
+  List.iter
+    (fun (r, std) ->
+      if r.bb_node_limit > 0 then
+        bb_kernel ~label:r.label ~node_limit:r.bb_node_limit ~time_limit:r.bb_time_limit
+          ~with_dense:r.with_dense (Lazy.force std))
+    rows;
   Report.row "-- continuous loop: cold vs persistent cross-round state --\n";
-  continuous_loop_kernel ~label:"medium"
-    ~rounds:(if !Scenarios.quick then 4 else 10)
-    Scenarios.Medium;
+  List.iter
+    (fun (r, _) ->
+      if r.loop_rounds > 0 then
+        continuous_loop_kernel ~label:r.label ~rounds:r.loop_rounds r.preset)
+    rows;
   Report.row "-- POP decomposition (monolith vs k partitions) --\n";
-  decompose_kernel ~label:"medium"
-    ~node_limit:(if !Scenarios.quick then 24 else 60)
-    ~time_limit:120.0 Scenarios.Medium;
-  decompose_kernel ~label:"wide"
-    ~node_limit:(if !Scenarios.quick then 12 else 40)
-    ~time_limit:120.0 Scenarios.Wide;
+  List.iter
+    (fun (r, _) ->
+      if r.decompose_node_limit > 0 then
+        decompose_kernel ~label:r.label ~node_limit:r.decompose_node_limit
+          ~time_limit:r.decompose_time_limit r.preset)
+    rows;
   write_json ()

@@ -8,10 +8,15 @@ module Service = Ras_workload.Service
 module Request_gen = Ras_workload.Request_gen
 module Rng = Ras_stats.Rng
 
-type preset = Small | Medium | Wide
+type preset = Small | Medium | Wide | Region_scale
 
 let params_of = function
   | Small -> Generator.small_params
+  | Region_scale ->
+    (* the north-star preset: 36 MSBs, ~10^6 servers (§3.3.1 scale).
+       Symmetry aggregation keeps the compiled model in the same variable
+       regime as [Wide] despite ~600x more raw servers. *)
+    Generator.region_scale_params
   | Medium ->
     {
       Generator.name = "region-medium";
@@ -33,6 +38,12 @@ let params_of = function
       seed = 4;
     }
 
+let label_of = function
+  | Small -> "small"
+  | Medium -> "medium"
+  | Wide -> "wide"
+  | Region_scale -> "large"
+
 let region_of preset = Generator.generate (params_of preset)
 
 (* A trimmed service list keeps wide-region solves tractable while keeping
@@ -40,7 +51,7 @@ let region_of preset = Generator.generate (params_of preset)
    Presto affinity). *)
 let services_of = function
   | Small | Medium -> Service.default_catalog
-  | Wide ->
+  | Wide | Region_scale ->
     List.filter
       (fun s -> s.Service.id <= 12 || s.Service.id = 13 || s.Service.id = 17)
       Service.default_catalog

@@ -8,7 +8,13 @@
 
     The production broker is highly-available replicated storage; behaviour
     relevant to allocation is the data model and the subscription contract,
-    which this in-memory version preserves. *)
+    which this in-memory version preserves.
+
+    Internally the store is columnar — one int or byte column per field,
+    indexed by server id — so a region-scale broker (10⁶ servers) costs a
+    few flat arrays rather than a million heap records.  {!record}
+    materializes a per-server view on demand; the [*_at] / [*_code]
+    accessors read the columns without allocating. *)
 
 type owner =
   | Free  (** region free pool *)
@@ -36,7 +42,37 @@ val region : t -> Ras_topology.Region.t
 val num_servers : t -> int
 
 val record : t -> int -> record
-(** Raises [Invalid_argument] on an unknown server id. *)
+(** Materializes a snapshot of one server's columns.  The returned record is
+    a copy: writes to its mutable fields do not reach the store — mutate
+    through {!move}/{!set_target}/{!mark_down}/{!mark_up}/{!set_in_use}.
+    Raises [Invalid_argument] on an unknown server id. *)
+
+(** {2 Allocation-free column accessors}
+
+    The hot paths (snapshot capture, symmetry aggregation) read server state
+    through these instead of materializing {!record}s. *)
+
+val owner_code : owner -> int
+(** Injective encoding of {!owner} as an immediate int ([Free] = 0). *)
+
+val owner_of_code : int -> owner
+(** Inverse of {!owner_code}. *)
+
+val current_code : t -> int -> int
+(** [owner_code] of the server's current owner. *)
+
+val target_code : t -> int -> int
+
+val current_owner : t -> int -> owner
+
+val down_at : t -> int -> Ras_failures.Unavail.kind option
+
+val in_use_at : t -> int -> bool
+
+val available_at : t -> int -> bool
+(** Column equivalent of {!available}. *)
+
+val healthy_at : t -> int -> bool
 
 val subscribe : t -> (event -> unit) -> unit
 (** Callbacks run synchronously on {!mark_down}/{!mark_up}, in subscription

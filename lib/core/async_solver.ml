@@ -66,10 +66,10 @@ let rack_overflow (snapshot : Snapshot.t) targets res =
     Hashtbl.iter
       (fun id target ->
         if target = owner then begin
-          let v = snapshot.Snapshot.servers.(id) in
-          let rru = res.Reservation.rru_of v.Snapshot.server.Region.hw in
+          let s = Snapshot.server snapshot id in
+          let rru = res.Reservation.rru_of s.Region.hw in
           if rru > 0.0 then begin
-            let rack = v.Snapshot.server.Region.loc.Region.rack in
+            let rack = s.Region.loc.Region.rack in
             let cur = try Hashtbl.find per_rack rack with Not_found -> 0.0 in
             Hashtbl.replace per_rack rack (cur +. rru)
           end
@@ -79,17 +79,18 @@ let rack_overflow (snapshot : Snapshot.t) targets res =
     Hashtbl.fold (fun _ v acc -> acc +. Float.max 0.0 (v -. limit)) per_rack 0.0
 
 let with_targets (snapshot : Snapshot.t) targets =
-  let servers =
-    Array.map
-      (fun (v : Snapshot.server_view) ->
-        match Hashtbl.find_opt targets v.Snapshot.server.Region.id with
-        | Some owner when owner <> v.Snapshot.current ->
-          (* a moved server is preempted: it arrives idle *)
-          { v with Snapshot.current = owner; in_use = false }
-        | Some _ | None -> v)
-      snapshot.Snapshot.servers
-  in
-  { snapshot with Snapshot.servers = servers }
+  let current = Array.copy snapshot.Snapshot.current in
+  let in_use = Bytes.copy snapshot.Snapshot.in_use in
+  Hashtbl.iter
+    (fun id owner ->
+      let code = Broker.owner_code owner in
+      if current.(id) <> code then begin
+        (* a moved server is preempted: it arrives idle *)
+        current.(id) <- code;
+        Bytes.set in_use id '\000'
+      end)
+    targets;
+  { snapshot with Snapshot.current; in_use }
 
 let solve ?(params = default_params) ?include_server ?state (snapshot : Snapshot.t) =
   let start = Unix.gettimeofday () in
@@ -132,15 +133,16 @@ let solve ?(params = default_params) ?include_server ?state (snapshot : Snapshot
         List.iteri
           (fun i (_, res) ->
             if i < quota then begin
-              let owner = owner_of_res res in
-              let server_count =
-                Array.fold_left
-                  (fun acc (v : Snapshot.server_view) ->
-                    if v.Snapshot.usable && (v.Snapshot.current = owner || v.Snapshot.current = Broker.Free)
-                    then acc + 1
-                    else acc)
-                  0 snapshot2_all.Snapshot.servers
-              in
+              let owner_code = Broker.owner_code (owner_of_res res) in
+              let free_code = Broker.owner_code Broker.Free in
+              let counted = ref 0 in
+              for id = 0 to Snapshot.num_servers snapshot2_all - 1 do
+                if Snapshot.usable_at snapshot2_all id then begin
+                  let c = Snapshot.current_code snapshot2_all id in
+                  if c = owner_code || c = free_code then incr counted
+                end
+              done;
+              let server_count = !counted in
               (* rack-level classes are at worst one per server *)
               if !var_estimate + server_count <= params.phase2_var_cap then begin
                 selected := res :: !selected;
@@ -177,14 +179,14 @@ let solve ?(params = default_params) ?include_server ?state (snapshot : Snapshot
   Hashtbl.iter
     (fun id owner ->
       target_list := (id, owner) :: !target_list;
-      let v = snapshot.Snapshot.servers.(id) in
-      if v.Snapshot.current <> owner then
+      let current = Snapshot.current snapshot id in
+      if current <> owner then
         moves :=
           {
             Concretize.server = id;
-            from_ = v.Snapshot.current;
+            from_ = current;
             to_ = owner;
-            was_in_use = v.Snapshot.in_use;
+            was_in_use = Snapshot.in_use_at snapshot id;
           }
           :: !moves)
     targets;

@@ -11,7 +11,7 @@ let owner_of_res res =
 
 let plan (f : Formulation.t) (assignment : Formulation.assignment) =
   let snapshot = f.Formulation.symmetry.Symmetry.snapshot in
-  let current id = snapshot.Snapshot.servers.(id).Snapshot.current in
+  let current id = Snapshot.current snapshot id in
   (* per class: quotas per owner *)
   let quotas_of_class : (int, (Broker.owner * int) list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -87,7 +87,7 @@ let plan (f : Formulation.t) (assignment : Formulation.assignment) =
                 server = id;
                 from_ = current id;
                 to_ = target;
-                was_in_use = snapshot.Snapshot.servers.(id).Snapshot.in_use;
+                was_in_use = Snapshot.in_use_at snapshot id;
               }
               :: !moves)
         members)

@@ -3,13 +3,6 @@ module Hw = Ras_topology.Hardware
 module Broker = Ras_broker.Broker
 module Branch_bound = Ras_mip.Branch_bound
 
-let owned_by res (v : Snapshot.server_view) =
-  match v.Snapshot.current with
-  | Broker.Reservation id -> id = res.Reservation.id && not (Reservation.is_buffer res)
-  | Broker.Shared_buffer ->
-    Reservation.is_buffer res && res.Reservation.rru_of v.Snapshot.server.Region.hw > 0.0
-  | Broker.Free | Broker.Elastic _ -> false
-
 let reservation_report (snapshot : Snapshot.t) res =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -19,13 +12,13 @@ let reservation_report (snapshot : Snapshot.t) res =
     (if total >= res.Reservation.capacity_rru then "" else "  ** SHORT **");
   (* hardware mix *)
   let hw_counts = Array.make Hw.count 0 in
-  Array.iter
-    (fun v ->
-      if v.Snapshot.usable && owned_by res v then begin
-        let i = v.Snapshot.server.Region.hw.Hw.index in
-        hw_counts.(i) <- hw_counts.(i) + 1
-      end)
-    snapshot.Snapshot.servers;
+  for id = 0 to Snapshot.num_servers snapshot - 1 do
+    if Snapshot.usable_at snapshot id then begin
+      let hw = (Snapshot.server snapshot id).Region.hw in
+      if Snapshot.owned_by_code res (Snapshot.current_code snapshot id) hw then
+        hw_counts.(hw.Hw.index) <- hw_counts.(hw.Hw.index) + 1
+    end
+  done;
   add "  hardware:";
   Array.iteri
     (fun i c -> if c > 0 then add " %s x%d" Hw.catalog.(i).Hw.code c)
@@ -80,14 +73,15 @@ let shortfall_reason (snapshot : Snapshot.t) res ~shortfall =
     (fun hw ->
       if res.Reservation.rru_of hw > 0.0 then incr acceptable_types)
     Hw.catalog;
-  Array.iter
-    (fun (v : Snapshot.server_view) ->
-      let value = res.Reservation.rru_of v.Snapshot.server.Region.hw in
-      if value > 0.0 && v.Snapshot.usable then begin
-        acceptable_total := !acceptable_total +. value;
-        if v.Snapshot.current = Broker.Free then acceptable_free := !acceptable_free +. value
-      end)
-    snapshot.Snapshot.servers;
+  let free_code = Broker.owner_code Broker.Free in
+  for id = 0 to Snapshot.num_servers snapshot - 1 do
+    let value = res.Reservation.rru_of (Snapshot.server snapshot id).Region.hw in
+    if value > 0.0 && Snapshot.usable_at snapshot id then begin
+      acceptable_total := !acceptable_total +. value;
+      if Snapshot.current_code snapshot id = free_code then
+        acceptable_free := !acceptable_free +. value
+    end
+  done;
   if !acceptable_types = 0 then add "no hardware subtype in the catalog is acceptable."
   else if !acceptable_total < res.Reservation.capacity_rru then
     add

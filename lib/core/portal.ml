@@ -20,11 +20,12 @@ let buffer_overhead (region : Region.t) (req : Capacity_request.t) =
   else 1.0
 
 let acceptable_supply (snapshot : Snapshot.t) service =
-  Array.fold_left
-    (fun acc (v : Snapshot.server_view) ->
-      if v.Snapshot.usable then acc +. Service.rru_of service v.Snapshot.server.Region.hw
-      else acc)
-    0.0 snapshot.Snapshot.servers
+  let acc = ref 0.0 in
+  for id = 0 to Snapshot.num_servers snapshot - 1 do
+    if Snapshot.usable_at snapshot id then
+      acc := !acc +. Service.rru_of service (Snapshot.server snapshot id).Region.hw
+  done;
+  !acc
 
 (* What other accepted requests already claim of this service's acceptable
    supply: conservatively, any request accepting an overlapping hardware

@@ -9,72 +9,140 @@ type server_view = {
   attr : int;
 }
 
+(* Server state is columnar (int/byte column per field, indexed by server
+   id): a region-scale snapshot costs a handful of flat arrays instead of
+   10^6 view records, and capture from the (equally columnar) broker is a
+   tight loop with no per-server allocation. *)
 type t = {
   region : Region.t;
-  servers : server_view array;
+  current : int array;  (* Broker.owner_code per server *)
+  in_use : Bytes.t;
+  usable : Bytes.t;
+  attr : int array;
   reservations : Reservation.t list;
 }
 
-let take ?(home_of = fun _ -> None) ?(attr_of = fun _ -> 0) broker reservations =
-  let view (r : Broker.record) =
-    let id = r.Broker.server.Region.id in
-    let current =
-      match home_of id with Some home -> home | None -> r.Broker.current
-    in
-    {
-      server = r.Broker.server;
-      current;
-      in_use = r.Broker.in_use;
-      usable = Broker.available r;
-      attr = attr_of id;
-    }
-  in
+let take ?home_of ?attr_of broker reservations =
   let n = Broker.num_servers broker in
+  let current =
+    match home_of with
+    | None -> Array.init n (fun id -> Broker.current_code broker id)
+    | Some home_of ->
+      Array.init n (fun id ->
+          match home_of id with
+          | Some home -> Broker.owner_code home
+          | None -> Broker.current_code broker id)
+  in
+  let in_use = Bytes.make n '\000' in
+  let usable = Bytes.make n '\000' in
+  for id = 0 to n - 1 do
+    if Broker.in_use_at broker id then Bytes.unsafe_set in_use id '\001';
+    if Broker.available_at broker id then Bytes.unsafe_set usable id '\001'
+  done;
+  let attr =
+    match attr_of with
+    | None -> Array.make n 0
+    | Some attr_of -> Array.init n attr_of
+  in
+  { region = Broker.region broker; current; in_use; usable; attr; reservations }
+
+let num_servers t = Array.length t.current
+
+let server t id = t.region.Region.servers.(id)
+
+let current_code t id = t.current.(id)
+
+let current t id = Broker.owner_of_code t.current.(id)
+
+let in_use_at t id = Bytes.unsafe_get t.in_use id <> '\000'
+
+let usable_at t id = Bytes.unsafe_get t.usable id <> '\000'
+
+let attr_at t id = t.attr.(id)
+
+let view t id =
   {
-    region = Broker.region broker;
-    servers = Array.init n (fun id -> view (Broker.record broker id));
-    reservations;
+    server = server t id;
+    current = current t id;
+    in_use = in_use_at t id;
+    usable = usable_at t id;
+    attr = t.attr.(id);
   }
 
-let usable_servers t =
-  Array.fold_right (fun v acc -> if v.usable then v :: acc else acc) t.servers []
+let with_current t current =
+  if Array.length current <> Array.length t.current then
+    invalid_arg "Snapshot.with_current: column length mismatch";
+  { t with current }
 
-let owned_by res v =
-  match v.current with
-  | Broker.Reservation id -> id = res.Reservation.id && not (Reservation.is_buffer res)
-  | Broker.Shared_buffer ->
-    (* buffer reservations are per hardware category, so category membership
-       identifies which buffer reservation holds the server *)
-    Reservation.is_buffer res && res.Reservation.rru_of v.server.Region.hw > 0.0
-  | Broker.Free | Broker.Elastic _ -> false
+let iter_views t ~f =
+  for id = 0 to num_servers t - 1 do
+    f (view t id)
+  done
+
+let fold_views t ~init ~f =
+  let acc = ref init in
+  for id = 0 to num_servers t - 1 do
+    acc := f !acc (view t id)
+  done;
+  !acc
+
+let usable_servers t =
+  let out = ref [] in
+  for id = num_servers t - 1 downto 0 do
+    if usable_at t id then out := view t id :: !out
+  done;
+  !out
+
+(* Buffer reservations are per hardware category, so category membership
+   (rru_of > 0) identifies which buffer reservation holds a [Shared_buffer]
+   server.  Code-based so the rru folds below never decode owners. *)
+let owned_by_code res code hw =
+  if code = Broker.owner_code Broker.Shared_buffer then
+    Reservation.is_buffer res && res.Reservation.rru_of hw > 0.0
+  else
+    code = Broker.owner_code (Broker.Reservation res.Reservation.id)
+    && not (Reservation.is_buffer res)
+
+let owned_by res (v : server_view) =
+  owned_by_code res (Broker.owner_code v.current) v.server.Region.hw
 
 let current_rru t res =
-  Array.fold_left
-    (fun acc v ->
-      if v.usable && owned_by res v then acc +. res.Reservation.rru_of v.server.Region.hw
-      else acc)
-    0.0 t.servers
+  let acc = ref 0.0 in
+  for id = 0 to num_servers t - 1 do
+    if usable_at t id then begin
+      let hw = (server t id).Region.hw in
+      if owned_by_code res t.current.(id) hw then
+        acc := !acc +. res.Reservation.rru_of hw
+    end
+  done;
+  !acc
 
 let rru_by_msb t res =
   let out = Array.make t.region.Region.num_msbs 0.0 in
-  Array.iter
-    (fun v ->
-      if v.usable && owned_by res v then begin
-        let m = v.server.Region.loc.Region.msb in
-        out.(m) <- out.(m) +. res.Reservation.rru_of v.server.Region.hw
-      end)
-    t.servers;
+  for id = 0 to num_servers t - 1 do
+    if usable_at t id then begin
+      let s = server t id in
+      let hw = s.Region.hw in
+      if owned_by_code res t.current.(id) hw then begin
+        let m = s.Region.loc.Region.msb in
+        out.(m) <- out.(m) +. res.Reservation.rru_of hw
+      end
+    end
+  done;
   out
 
 let rru_by_dc t res =
   let out = Array.make t.region.Region.num_dcs 0.0 in
-  Array.iter
-    (fun v ->
-      if v.usable && owned_by res v then begin
-        let d = v.server.Region.loc.Region.dc in
-        out.(d) <- out.(d) +. res.Reservation.rru_of v.server.Region.hw
-      end)
-    t.servers;
+  for id = 0 to num_servers t - 1 do
+    if usable_at t id then begin
+      let s = server t id in
+      let hw = s.Region.hw in
+      if owned_by_code res t.current.(id) hw then begin
+        let d = s.Region.loc.Region.dc in
+        out.(d) <- out.(d) +. res.Reservation.rru_of hw
+      end
+    end
+  done;
   out
 
 let max_msb_share t res =

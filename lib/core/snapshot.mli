@@ -4,7 +4,13 @@
     Servers that are down with an {e unplanned} event are excluded from the
     assignable pool (the availability constraint, §3.5.1); servers under
     planned maintenance remain assignable because their replacement capacity
-    is pre-baked into reservations. *)
+    is pre-baked into reservations.
+
+    Server state is stored columnar — one int or byte column per field,
+    indexed by server id — so a region-scale snapshot (10⁶ servers) costs a
+    handful of flat arrays rather than a million per-server records.  Use
+    the [*_at]/[*_code] accessors on hot paths; {!view} materializes a
+    {!server_view} on demand. *)
 
 type server_view = {
   server : Ras_topology.Region.server;
@@ -23,7 +29,10 @@ type server_view = {
 
 type t = {
   region : Ras_topology.Region.t;
-  servers : server_view array;  (** indexed by server id *)
+  current : int array;  (** {!Ras_broker.Broker.owner_code} per server id *)
+  in_use : Bytes.t;  (** 0 / 1 per server id *)
+  usable : Bytes.t;  (** 0 / 1 per server id *)
+  attr : int array;
   reservations : Reservation.t list;
 }
 
@@ -35,9 +44,43 @@ val take :
   t
 (** [home_of id] resolves an elastically-lent server to its home owner
     (provided by the Online Mover); defaults to no lending.  [attr_of id]
-    supplies the placement attribute (defaults to 0 everywhere). *)
+    supplies the placement attribute (defaults to 0 everywhere).  Capture
+    reads the broker's columns directly: no per-server allocation. *)
+
+val num_servers : t -> int
+
+val view : t -> int -> server_view
+(** Materializes one server's columns as a {!server_view}. *)
+
+val server : t -> int -> Ras_topology.Region.server
+
+val current_code : t -> int -> int
+
+val current : t -> int -> Ras_broker.Broker.owner
+
+val in_use_at : t -> int -> bool
+
+val usable_at : t -> int -> bool
+
+val attr_at : t -> int -> int
+
+val with_current : t -> int array -> t
+(** A copy of the snapshot with the current-owner column replaced (used to
+    re-snapshot hypothetical assignments).  Raises [Invalid_argument] on a
+    length mismatch. *)
+
+val iter_views : t -> f:(server_view -> unit) -> unit
+
+val fold_views : t -> init:'a -> f:('a -> server_view -> 'a) -> 'a
 
 val usable_servers : t -> server_view list
+
+val owned_by_code : Reservation.t -> int -> Ras_topology.Hardware.t -> bool
+(** [owned_by_code res code hw]: does owner-code [code] on a server of
+    hardware [hw] place it in reservation [res]?  Buffer reservations own
+    [Shared_buffer] servers of their hardware category. *)
+
+val owned_by : Reservation.t -> server_view -> bool
 
 val current_rru : t -> Reservation.t -> float
 (** Usable RRU currently bound to the reservation. *)

@@ -12,14 +12,126 @@ type cls = {
   members : int array;
 }
 
-type t = { classes : cls array; region : Region.t; snapshot : Snapshot.t }
+type t = {
+  classes : cls array;
+  region : Region.t;
+  snapshot : Snapshot.t;
+  owner_counts : (int, int) Hashtbl.t array;
+}
 
 type key = { kmsb : int; krack : int; khw : int; kuse : bool; kattr : int }
 
-let build ?(rack_level = false) ?(include_server = fun _ -> true) (snapshot : Snapshot.t) =
+let cls_of_key index key members =
+  {
+    index;
+    msb = key.kmsb;
+    rack = (if key.krack >= 0 then Some key.krack else None);
+    hw = key.khw;
+    in_use = key.kuse;
+    attr = key.kattr;
+    members;
+  }
+
+(* Per-class histogram of current-owner codes over the members, so
+   [current_count] is a table lookup instead of a scan of the member list
+   (which at region scale is hit once per (class, reservation) pair during
+   formulation). *)
+let count_owners snapshot classes =
+  Array.map
+    (fun c ->
+      let h = Hashtbl.create 8 in
+      Array.iter
+        (fun id ->
+          let code = Snapshot.current_code snapshot id in
+          match Hashtbl.find_opt h code with
+          | Some n -> Hashtbl.replace h code (n + 1)
+          | None -> Hashtbl.add h code 1)
+        c.members;
+      h)
+    classes
+
+let finish snapshot classes =
+  {
+    classes;
+    region = snapshot.Snapshot.region;
+    snapshot;
+    owner_counts = count_owners snapshot classes;
+  }
+
+(* Streaming build: one pass over server ids reading the snapshot columns
+   (no per-server view records on the default path), grouping into classes
+   via a key table.  Member arrays are filled in a second pass over a
+   per-server group-index scratch column, so ids come out ascending for free
+   and the optional filter runs exactly once per server. *)
+let build ?(rack_level = false) ?include_server (snapshot : Snapshot.t) =
+  let n = Snapshot.num_servers snapshot in
+  let group_of_key : (key, int) Hashtbl.t = Hashtbl.create 256 in
+  let keys : key list ref = ref [] in
+  let num_groups = ref 0 in
+  (* group index per server, -1 = excluded *)
+  let group = Array.make n (-1) in
+  let keep =
+    match include_server with
+    | None -> fun _ -> true
+    | Some f -> fun id -> f (Snapshot.view snapshot id)
+  in
+  for id = 0 to n - 1 do
+    if Snapshot.usable_at snapshot id && keep id then begin
+      let s = Snapshot.server snapshot id in
+      let loc = s.Region.loc in
+      let key =
+        {
+          kmsb = loc.Region.msb;
+          krack = (if rack_level then loc.Region.rack else -1);
+          khw = s.Region.hw.Hw.index;
+          kuse = Snapshot.in_use_at snapshot id;
+          kattr = Snapshot.attr_at snapshot id;
+        }
+      in
+      match Hashtbl.find_opt group_of_key key with
+      | Some g -> group.(id) <- g
+      | None ->
+        let g = !num_groups in
+        incr num_groups;
+        Hashtbl.add group_of_key key g;
+        keys := key :: !keys;
+        group.(id) <- g
+    end
+  done;
+  (* class order is the sorted key order, as in the reference build: the
+     dense indices (and the name list order) must not depend on which server
+     id happened to introduce each class *)
+  let sorted_keys = List.sort compare !keys in
+  let class_of_group = Array.make !num_groups (-1) in
+  List.iteri
+    (fun index key -> class_of_group.(Hashtbl.find group_of_key key) <- index)
+    sorted_keys;
+  let counts = Array.make !num_groups 0 in
+  Array.iter (fun g -> if g >= 0 then counts.(class_of_group.(g)) <- counts.(class_of_group.(g)) + 1) group;
+  let members = Array.init !num_groups (fun c -> Array.make counts.(c) 0) in
+  let fill = Array.make !num_groups 0 in
+  for id = 0 to n - 1 do
+    let g = group.(id) in
+    if g >= 0 then begin
+      let c = class_of_group.(g) in
+      members.(c).(fill.(c)) <- id;
+      fill.(c) <- fill.(c) + 1
+    end
+  done;
+  let classes =
+    Array.of_list
+      (List.mapi (fun index key -> cls_of_key index key members.(index)) sorted_keys)
+  in
+  finish snapshot classes
+
+(* The pre-streaming implementation, kept verbatim as the differential
+   oracle for the aggregation-equivalence battery (test_region_scale.ml):
+   materializes every server view and groups member-id lists through the
+   key table, exactly as builds did before the columnar refactor. *)
+let build_reference ?(rack_level = false) ?(include_server = fun _ -> true)
+    (snapshot : Snapshot.t) =
   let groups : (key, int list ref) Hashtbl.t = Hashtbl.create 256 in
-  Array.iter
-    (fun (v : Snapshot.server_view) ->
+  Snapshot.iter_views snapshot ~f:(fun (v : Snapshot.server_view) ->
       if v.Snapshot.usable && include_server v then begin
         let loc = v.Snapshot.server.Region.loc in
         let key =
@@ -34,26 +146,17 @@ let build ?(rack_level = false) ?(include_server = fun _ -> true) (snapshot : Sn
         match Hashtbl.find_opt groups key with
         | Some members -> members := v.Snapshot.server.Region.id :: !members
         | None -> Hashtbl.replace groups key (ref [ v.Snapshot.server.Region.id ])
-      end)
-    snapshot.Snapshot.servers;
+      end);
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) groups [] in
   let keys = List.sort compare keys in
   let classes =
     List.mapi
       (fun index key ->
         let members = Array.of_list (List.sort compare !(Hashtbl.find groups key)) in
-        {
-          index;
-          msb = key.kmsb;
-          rack = (if key.krack >= 0 then Some key.krack else None);
-          hw = key.khw;
-          in_use = key.kuse;
-          attr = key.kattr;
-          members;
-        })
+        cls_of_key index key members)
       keys
   in
-  { classes = Array.of_list classes; region = snapshot.Snapshot.region; snapshot }
+  finish snapshot (Array.of_list classes)
 
 (* Stable identity of a class: every field of the grouping key, none of the
    dense index.  Used to name model variables and rows, so that the same
@@ -69,11 +172,9 @@ let size c = Array.length c.members
 let hw_of c = Hw.catalog.(c.hw)
 
 let current_count t c owner =
-  Array.fold_left
-    (fun acc id ->
-      let v = t.snapshot.Snapshot.servers.(id) in
-      if v.Snapshot.current = owner then acc + 1 else acc)
-    0 c.members
+  match Hashtbl.find_opt t.owner_counts.(c.index) (Broker.owner_code owner) with
+  | Some n -> n
+  | None -> 0
 
 let num_classes t = Array.length t.classes
 

@@ -26,6 +26,9 @@ type t = {
   classes : cls array;
   region : Ras_topology.Region.t;
   snapshot : Snapshot.t;
+  owner_counts : (int, int) Hashtbl.t array;
+      (** per class index: histogram of member current-owner codes
+          ({!Ras_broker.Broker.owner_code}), making {!current_count} O(1) *)
 }
 
 val build :
@@ -34,7 +37,18 @@ val build :
   Snapshot.t ->
   t
 (** Classes over the snapshot's usable servers (optionally filtered
-    further).  Defaults: MSB-level, all usable servers. *)
+    further).  Defaults: MSB-level, all usable servers.  Streams over the
+    snapshot columns: per-server work is O(1) and, absent a filter, no
+    per-server view records are materialized. *)
+
+val build_reference :
+  ?rack_level:bool ->
+  ?include_server:(Snapshot.server_view -> bool) ->
+  Snapshot.t ->
+  t
+(** The pre-streaming implementation (materializes every server view and
+    groups id lists), kept as the differential oracle: [build] must agree
+    with it class-for-class, member-for-member on any snapshot. *)
 
 val class_name : cls -> string
 (** Stable textual identity of the class, built from every grouping-key

@@ -13,6 +13,22 @@ let default_params =
 let small_params =
   { name = "region-small"; num_dcs = 2; msbs_per_dc = 3; racks_per_msb = 4; servers_per_rack = 6; seed = 1 }
 
+(* The north-star scale: 36 MSBs as in the production region of §3.3.1,
+   ~10^6 servers.  Because [build_servers] draws each rack's hardware once
+   (the RNG sequence never sees [servers_per_rack]), scaling this preset
+   down by shrinking [servers_per_rack] keeps the rack/class structure —
+   and hence the compiled model — identical; the scale-sweep tests rely on
+   exactly that. *)
+let region_scale_params =
+  {
+    name = "region-scale";
+    num_dcs = 4;
+    msbs_per_dc = 9;
+    racks_per_msb = 580;
+    servers_per_rack = 48;
+    seed = 6;
+  }
+
 let category_weight = function
   | Hardware.Compute -> 0.40
   | Hardware.Storage -> 0.18

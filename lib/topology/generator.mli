@@ -28,6 +28,13 @@ val small_params : params
 (** A laptop-scale region for tests and the quickstart example: 2 DCs,
     3 MSBs each, 4 racks per MSB, 6 servers per rack. *)
 
+val region_scale_params : params
+(** The north-star scale: 4 DCs × 9 MSBs (36, as in the production region
+    of §3.3.1) × 580 racks × 48 servers ≈ 1.0M servers.  Rack hardware is
+    drawn independently of [servers_per_rack], so shrinking that one field
+    yields a structurally identical region at any scale — the property the
+    scale-sweep regression tests pin. *)
+
 val generate : params -> Region.t
 
 val extend : Region.t -> new_msbs_per_dc:int -> racks_per_msb:int -> servers_per_rack:int -> seed:int -> Region.t

@@ -32,13 +32,28 @@ let scenario rng ~region ~services ~target_utilization =
     let acc = Array.make n 0.0 in
     let shuffled = Array.copy region.Region.servers in
     Rng.shuffle rng shuffled;
-    Array.iter
-      (fun s ->
+    (* candidate weights depend only on the server's hardware subtype, so
+       cache one array per subtype instead of allocating an O(|services|)
+       array per server — at region scale (10^6 servers) the latter dominates
+       generation time.  The RNG sequence is unchanged: one categorical draw
+       per acceptable server either way. *)
+    let by_hw = Array.make Hw.count None in
+    let weights_for (hw : Hw.t) =
+      match by_hw.(hw.Hw.index) with
+      | Some cached -> cached
+      | None ->
         let candidate_weights =
           Array.init n (fun i ->
-              if Service.rru_of services.(i) s.Region.hw > 0.0 then weights.(i) else 0.0)
+              if Service.rru_of services.(i) hw > 0.0 then weights.(i) else 0.0)
         in
         let any = Array.exists (fun w -> w > 0.0) candidate_weights in
+        let cached = (candidate_weights, any) in
+        by_hw.(hw.Hw.index) <- Some cached;
+        cached
+    in
+    Array.iter
+      (fun s ->
+        let candidate_weights, any = weights_for s.Region.hw in
         if any then begin
           let i = Dist.categorical rng candidate_weights in
           acc.(i) <- acc.(i) +. Service.rru_of services.(i) s.Region.hw

@@ -127,7 +127,7 @@ let test_snapshot_home_overlay () =
     Snapshot.take ~home_of:(fun id -> if id = 0 then Some Broker.Shared_buffer else None) broker []
   in
   Alcotest.(check bool) "lent server resolved home" true
-    (snap.Snapshot.servers.(0).Snapshot.current = Broker.Shared_buffer)
+    (Snapshot.current snap 0 = Broker.Shared_buffer)
 
 (* ---------- Symmetry ---------- *)
 
@@ -142,7 +142,7 @@ let test_symmetry_partition () =
     (fun (c : Symmetry.cls) ->
       Array.iter
         (fun id ->
-          let v = snap.Snapshot.servers.(id) in
+          let v = Snapshot.view snap id in
           Alcotest.(check int) "hw matches" c.Symmetry.hw v.Snapshot.server.Region.hw.Hw.index;
           Alcotest.(check int) "msb matches" c.Symmetry.msb v.Snapshot.server.Region.loc.Region.msb;
           Alcotest.(check bool) "in_use matches" c.Symmetry.in_use v.Snapshot.in_use)
@@ -254,7 +254,7 @@ let test_concretize_stability_and_cover () =
     (List.length plan.Concretize.targets);
   List.iter
     (fun (id, _) ->
-      Alcotest.(check bool) "target ids usable" true snap.Snapshot.servers.(id).Snapshot.usable)
+      Alcotest.(check bool) "target ids usable" true (Snapshot.usable_at snap id))
     plan.Concretize.targets
 
 let test_concretize_counts_respected () =

@@ -26,6 +26,7 @@ let suites =
     ("portal", Test_portal.suite);
     ("wear", Test_wear.suite);
     ("properties", Test_properties.suite);
+    ("region_scale", Test_region_scale.suite);
   ]
 
 (* dune copies the test sources next to the runner, so the files on disk at

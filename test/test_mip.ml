@@ -513,6 +513,10 @@ let golden_fixtures =
     ("fixed_var.lp", Lp_opt 4.0);
     ("mip_knapsack.lp", Mip_opt (-9.0));
     ("mip_infeasible.lp", Mip_infeas);
+    (* 3-class symmetry-aggregated RAS allocation (see the fixture header):
+       the LP relaxation covers r1's last RRU with half a c2 server (0.75);
+       branch-and-bound must round it up to a whole one (0.8) *)
+    ("region_scale_small.lp", Mip_opt 0.8);
     (* x1 = x2 = 1, x3 = 0.5 basic; tightening x3's upper bound to 0 turns
        the dual re-optimization into two bound flips plus one pivot — the
        warm-restart side lives in test_sparse_kernels.ml *)

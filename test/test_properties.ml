@@ -106,7 +106,7 @@ let prop_concretize_realizes_random_counts =
               Array.fold_left
                 (fun acc id ->
                   if
-                    snapshot.Snapshot.servers.(id).Snapshot.current = owner
+                    Snapshot.current snapshot id = owner
                     && Hashtbl.find_opt target_of id = Some owner
                   then acc + 1
                   else acc)
@@ -116,6 +116,130 @@ let prop_concretize_realizes_random_counts =
           f.Formulation.pairs
       in
       realized_ok && movement_ok)
+
+(* ---------- symmetry aggregation invariants ---------- *)
+
+(* Randomized regions with random churn (greedy fulfillment, failures of
+   every kind, a random-modulus placement attribute) exercise the streaming
+   aggregation path far from the presets. *)
+let aggregation_scenario seed =
+  let module R = Ras_stats.Rng in
+  let rng = R.create seed in
+  let params =
+    {
+      Generator.name = "prop-agg";
+      Generator.num_dcs = 1 + R.int rng 3;
+      msbs_per_dc = 1 + R.int rng 3;
+      racks_per_msb = 1 + R.int rng 4;
+      servers_per_rack = 1 + R.int rng 6;
+      seed = R.int rng 10_000;
+    }
+  in
+  let region = Generator.generate params in
+  let broker = Broker.create region in
+  let requests =
+    Ras_workload.Request_gen.scenario rng ~region ~services:Service.default_catalog
+      ~target_utilization:(0.2 +. R.float rng 0.4)
+  in
+  let reservations =
+    List.map Reservation.of_request requests
+    @ Buffers.shared_buffer_reservations region ~fraction:0.02 ~first_id:8000
+  in
+  ignore (Ras_twine.Greedy.fulfill broker requests);
+  let n = Broker.num_servers broker in
+  for _ = 1 to R.int rng (1 + (n / 10)) do
+    let id = R.int rng n in
+    let kind =
+      match R.int rng 4 with
+      | 0 -> Ras_failures.Unavail.Planned_maintenance
+      | 1 -> Ras_failures.Unavail.Unplanned_sw
+      | 2 -> Ras_failures.Unavail.Unplanned_hw
+      | _ -> Ras_failures.Unavail.Correlated
+    in
+    Broker.mark_down broker id kind
+  done;
+  let attr_mod = 2 + R.int rng 8 in
+  let attr_of id = if id mod attr_mod = 0 then 1 else 0 in
+  (Snapshot.take ~attr_of broker reservations, reservations)
+
+let prop_aggregation_invariants =
+  QCheck.Test.make ~name:"symmetry aggregation invariants (200-seed corpus)" ~count:200
+    QCheck.int
+    (fun seed ->
+      let snapshot, reservations = aggregation_scenario seed in
+      let sym = Symmetry.build snapshot in
+      let reference = Symmetry.build_reference snapshot in
+      (* 1. the streaming build matches the materializing oracle *)
+      let matches_reference =
+        Symmetry.num_classes sym = Symmetry.num_classes reference
+        && Array.for_all2
+             (fun (a : Symmetry.cls) (b : Symmetry.cls) ->
+               Symmetry.class_name a = Symmetry.class_name b
+               && a.Symmetry.members = b.Symmetry.members)
+             sym.Symmetry.classes reference.Symmetry.classes
+      in
+      (* 2. class counts sum to the usable server count *)
+      let usable = ref 0 in
+      for id = 0 to Snapshot.num_servers snapshot - 1 do
+        if Snapshot.usable_at snapshot id then incr usable
+      done;
+      let counts_sum = Symmetry.total_members sym = !usable in
+      (* 3. members really are interchangeable with the representative:
+         identical hardware subtype, in-use flag and attribute, so any
+         per-class capacity is the representative's value times the count *)
+      let representative_ok =
+        Array.for_all
+          (fun (c : Symmetry.cls) ->
+            let hw = Symmetry.hw_of c in
+            Array.for_all
+              (fun id ->
+                let v = Snapshot.view snapshot id in
+                v.Snapshot.server.Region.hw.Ras_topology.Hardware.index
+                = hw.Ras_topology.Hardware.index
+                && v.Snapshot.in_use = c.Symmetry.in_use
+                && v.Snapshot.attr = c.Symmetry.attr)
+              c.Symmetry.members)
+          sym.Symmetry.classes
+      in
+      let capacity_ok =
+        List.for_all
+          (fun (res : Reservation.t) ->
+            Array.for_all
+              (fun (c : Symmetry.cls) ->
+                let per = res.Reservation.rru_of (Symmetry.hw_of c) in
+                let summed =
+                  Array.fold_left
+                    (fun acc id ->
+                      acc +. res.Reservation.rru_of (Snapshot.server snapshot id).Region.hw)
+                    0.0 c.Symmetry.members
+                in
+                Float.abs (summed -. (per *. float_of_int (Symmetry.size c)))
+                <= 1e-9 *. (1.0 +. Float.abs summed))
+              sym.Symmetry.classes)
+          reservations
+      in
+      (* 4. the O(1) owner histograms cover every member exactly once *)
+      let histogram_ok =
+        Array.for_all
+          (fun (c : Symmetry.cls) ->
+            let tbl = sym.Symmetry.owner_counts.(c.Symmetry.index) in
+            Hashtbl.fold (fun _ k acc -> acc + k) tbl 0 = Symmetry.size c)
+          sym.Symmetry.classes
+      in
+      (* 5. aggregation o disaggregation is the identity on the current
+         assignment: encoding the status quo and concretizing it moves
+         nothing *)
+      let f = Formulation.build sym reservations in
+      let assignment = Formulation.decode f (Formulation.status_quo f) in
+      let plan = Concretize.plan f assignment in
+      let identity_ok =
+        plan.Concretize.moves = []
+        && List.for_all
+             (fun (id, o) -> Snapshot.current snapshot id = o)
+             plan.Concretize.targets
+      in
+      matches_reference && counts_sum && representative_ok && capacity_ok && histogram_ok
+      && identity_ok)
 
 (* ---------- simplex under bad scaling ---------- *)
 
@@ -288,6 +412,7 @@ let test_system_deterministic () =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_concretize_realizes_random_counts;
+    QCheck_alcotest.to_alcotest prop_aggregation_invariants;
     QCheck_alcotest.to_alcotest prop_simplex_survives_bad_scaling;
     QCheck_alcotest.to_alcotest prop_devex_weights_ge_one;
     QCheck_alcotest.to_alcotest prop_devex_reset_equivalence;
