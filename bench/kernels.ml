@@ -508,6 +508,130 @@ let continuous_loop_kernel ~label ~rounds preset =
     ]
 
 (* ---------------------------------------------------------------- *)
+(* Tier-1 reactive restore: event -> healthy-replacement latency     *)
+
+(* The two-tier claim in numbers: after one tier-2 round binds capacity,
+   fail [events] reservation-owned servers one at a time and time the
+   synchronous mark_down -> replacement repair.  Three latencies compete:
+   the tier-1 reactive path (O(affected classes) against the incremental
+   availability index), the legacy full-scan search (O(servers), measured
+   without mutating via the retained oracle), and the tier-2 baseline — a
+   failure that waits for the next loop round pays the round's solve
+   latency.  Visited-server / visited-class / allocation counters per event
+   pin the O(n) -> O(classes) claim at every preset size. *)
+let reactive_restore_kernel ~label ~events preset =
+  let module Broker = Ras_broker.Broker in
+  let module Region = Ras_topology.Region in
+  let region = Scenarios.region_of preset in
+  let broker = Broker.create region in
+  let requests = Scenarios.requests_of preset region in
+  let reservations =
+    List.map Ras.Reservation.of_request requests
+    @ Ras.Buffers.shared_buffer_reservations region ~fraction:0.02 ~first_id:8000
+  in
+  let reactive = Ras.Reactive.create broker in
+  let mover = Ras.Online_mover.create ~reactive broker in
+  Ras.Online_mover.set_reservations mover reservations;
+  let solver =
+    {
+      Scenarios.simulation_solver with
+      Ras.Async_solver.run_phase2 = false;
+      phase1_time_limit_s = 120.0;
+    }
+  in
+  let snap = Ras.Snapshot.take ~home_of:(Ras.Online_mover.home_of mover) broker reservations in
+  let stats = Ras.Async_solver.solve ~params:solver snap in
+  ignore (Ras.Online_mover.apply_plan mover stats.Ras.Async_solver.plan);
+  (match stats.Ras.Async_solver.price_table with
+  | Some p -> Ras.Reactive.set_prices reactive p
+  | None -> ());
+  let round_s = stats.Ras.Async_solver.duration_s in
+  let n = Broker.num_servers broker in
+  (* victims: healthy servers bound to guaranteed reservations, spread over
+     the region *)
+  let bound = ref [] in
+  for id = n - 1 downto 0 do
+    if Broker.healthy_at broker id then begin
+      match Broker.current_owner broker id with
+      | Broker.Reservation rid when rid < 8000 -> (
+        match
+          List.find_opt
+            (fun r -> r.Ras.Reservation.id = rid && not (Ras.Reservation.is_buffer r))
+            reservations
+        with
+        | Some res -> bound := (id, res) :: !bound
+        | None -> ())
+      | _ -> ()
+    end
+  done;
+  let bound = Array.of_list !bound in
+  let events = min events (Array.length bound) in
+  let stride = if events = 0 then 1 else Array.length bound / events in
+  let victims = List.init events (fun i -> bound.(i * stride)) in
+  if events = 0 then
+    Report.row "%-34s skipped: no bound servers after the setup round\n"
+      (Printf.sprintf "reactive-restore-%s" label)
+  else begin
+    (* without tier-1: the legacy O(n) record-building search, measured
+       non-mutatingly via the retained oracle *)
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, res) ->
+        ignore
+          (Ras.Online_mover.find_replacement_reference mover res
+             ~failed_hw:region.Region.servers.(id).Region.hw.Ras_topology.Hardware.index))
+      victims;
+    let scan_s = Unix.gettimeofday () -. t0 in
+    (* with tier-1: fail each victim; the mover repairs synchronously inside
+       mark_down through the reactive index *)
+    Ras.Reactive.reset_counters reactive;
+    let done0 = Ras.Online_mover.replacements_done mover in
+    let alloc0 = Gc.allocated_bytes () in
+    let t1 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, _) -> Broker.mark_down broker id Ras_failures.Unavail.Unplanned_sw)
+      victims;
+    let tier1_s = Unix.gettimeofday () -. t1 in
+    let alloc = Gc.allocated_bytes () -. alloc0 in
+    let c = Ras.Reactive.counters reactive in
+    let restored = Ras.Online_mover.replacements_done mover - done0 in
+    let fe = float_of_int events in
+    let per_event = tier1_s /. fe in
+    let scan_per_event = scan_s /. fe in
+    Report.row
+      "%-34s %d events  %d restored  tier-1 %.6fs/event  scan %.6fs/event (%.0fx)  round %.3fs \
+       (%.0fx)\n"
+      (Printf.sprintf "reactive-restore-%s" label)
+      events restored per_event scan_per_event
+      (scan_per_event /. per_event)
+      round_s (round_s /. per_event);
+    Report.row
+      "%-34s visited/event: %.1f servers  %.1f classes  (%d servers, %d buckets)  %.0f B alloc/event\n"
+      ""
+      (float_of_int c.Ras.Reactive.visited_servers /. fe)
+      (float_of_int c.Ras.Reactive.visited_classes /. fe)
+      n
+      (Ras.Reactive.num_buckets reactive)
+      (alloc /. fe);
+    record
+      ~kernel:(Printf.sprintf "reactive-restore-%s" label)
+      ~size:(Printf.sprintf "servers=%d buckets=%d" n (Ras.Reactive.num_buckets reactive))
+      ~wall_s:tier1_s
+      [
+        ("events", string_of_int events);
+        ("restored", string_of_int restored);
+        ("per_event_s", flt per_event);
+        ("scan_per_event_s", flt scan_per_event);
+        ("scan_speedup", flt (scan_per_event /. per_event));
+        ("baseline_round_s", flt round_s);
+        ("round_speedup", flt (round_s /. per_event));
+        ("visited_servers_per_event", flt (float_of_int c.Ras.Reactive.visited_servers /. fe));
+        ("visited_classes_per_event", flt (float_of_int c.Ras.Reactive.visited_classes /. fe));
+        ("alloc_bytes_per_event", flt (alloc /. fe));
+      ]
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks (build kernels)                         *)
 
 let tests () =
@@ -567,6 +691,7 @@ type preset_row = {
   decompose_node_limit : int;
   decompose_time_limit : float;
   with_dense : bool;
+  reactive_events : int;  (* tier-1 restore events; 0 skips the kernel *)
 }
 
 (* evaluated at run time so the [Scenarios.quick] flag (set by the CLI) is
@@ -583,6 +708,7 @@ let preset_rows () =
       decompose_node_limit = 0;
       decompose_time_limit = 0.0;
       with_dense = true;
+      reactive_events = 0;
     };
     {
       label = "medium";
@@ -594,6 +720,7 @@ let preset_rows () =
       decompose_node_limit = (if !Scenarios.quick then 24 else 60);
       decompose_time_limit = 120.0;
       with_dense = true;
+      reactive_events = (if !Scenarios.quick then 20 else 60);
     };
     {
       label = "wide";
@@ -605,6 +732,7 @@ let preset_rows () =
       decompose_node_limit = (if !Scenarios.quick then 12 else 40);
       decompose_time_limit = 120.0;
       with_dense = true;
+      reactive_events = 0;
     };
     (* the north-star row: the 10^6-server preset.  Symmetry aggregation
        keeps the compiled model within ~2x of medium, so every enabled
@@ -620,6 +748,7 @@ let preset_rows () =
       decompose_node_limit = 0;
       decompose_time_limit = 0.0;
       with_dense = false;
+      reactive_events = (if !Scenarios.quick then 10 else 25);
     };
   ]
 
@@ -650,6 +779,12 @@ let run () =
     (fun (r, _) ->
       if r.loop_rounds > 0 then
         continuous_loop_kernel ~label:r.label ~rounds:r.loop_rounds r.preset)
+    rows;
+  Report.row "-- tier-1 reactive restore (event -> replacement) --\n";
+  List.iter
+    (fun (r, _) ->
+      if r.reactive_events > 0 then
+        reactive_restore_kernel ~label:r.label ~events:r.reactive_events r.preset)
     rows;
   Report.row "-- POP decomposition (monolith vs k partitions) --\n";
   List.iter

@@ -25,6 +25,7 @@ type t = {
   mutable down : Bytes.t;  (* 0 = healthy, 1 + kind code otherwise *)
   mutable in_use : Bytes.t;  (* 0 / 1 *)
   mutable subscribers : (event -> unit) list;  (* reversed subscription order *)
+  mutable change_subscribers : (int -> unit) list;  (* reversed subscription order *)
 }
 
 (* Owner codes: injective int encoding so a column cell is a single
@@ -65,6 +66,7 @@ let create reg =
     down = Bytes.make n '\000';
     in_use = Bytes.make n '\000';
     subscribers = [];
+    change_subscribers = [];
   }
 
 let region t = t.reg
@@ -111,7 +113,12 @@ let record t id =
 
 let subscribe t f = t.subscribers <- f :: t.subscribers
 
+let subscribe_changes t f = t.change_subscribers <- f :: t.change_subscribers
+
 let notify t ev = List.iter (fun f -> f ev) (List.rev t.subscribers)
+
+let notify_change t id =
+  List.iter (fun f -> f id) (List.rev t.change_subscribers)
 
 let set_target t id owner = check t id "set_target"; t.target.(id) <- owner_code owner
 
@@ -120,25 +127,32 @@ let move t id owner =
   let code = owner_code owner in
   if t.current.(id) <> code then begin
     t.current.(id) <- code;
-    Bytes.unsafe_set t.in_use id '\000'
+    Bytes.unsafe_set t.in_use id '\000';
+    notify_change t id
   end
 
 let mark_down t id kind =
   let code = 1 + kind_code kind in
   if down_code t id <> code then begin
     Bytes.unsafe_set t.down id (Char.chr code);
+    notify_change t id;
     notify t (Went_down (id, kind))
   end
 
 let mark_up t id =
   if down_code t id <> 0 then begin
     Bytes.unsafe_set t.down id '\000';
+    notify_change t id;
     notify t (Came_up id)
   end
 
 let set_in_use t id flag =
   check t id "set_in_use";
-  Bytes.unsafe_set t.in_use id (if flag then '\001' else '\000')
+  let byte = if flag then '\001' else '\000' in
+  if Bytes.unsafe_get t.in_use id <> byte then begin
+    Bytes.unsafe_set t.in_use id byte;
+    notify_change t id
+  end
 
 let extend_region t reg =
   let old_n = num_servers t in
@@ -162,7 +176,10 @@ let extend_region t reg =
   t.target <- grow_int t.target;
   t.down <- grow_bytes t.down;
   t.in_use <- grow_bytes t.in_use;
-  t.reg <- reg
+  t.reg <- reg;
+  for id = old_n to n - 1 do
+    notify_change t id
+  done
 
 let fold t ~init ~f =
   let acc = ref init in

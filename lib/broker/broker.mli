@@ -78,6 +78,17 @@ val subscribe : t -> (event -> unit) -> unit
 (** Callbacks run synchronously on {!mark_down}/{!mark_up}, in subscription
     order. *)
 
+val subscribe_changes : t -> (int -> unit) -> unit
+(** Low-level column-change feed: the callback receives the server id on
+    every effective mutation of its columns ({!move}, {!mark_down},
+    {!mark_up}, {!set_in_use}, and once per adopted server on
+    {!extend_region}).  No-op writes (same owner, same state) do not fire.
+    On {!mark_down}/{!mark_up} change callbacks run {e before} the
+    {!subscribe} event callbacks, so an index maintained through this feed
+    (e.g. {!Ras.Reactive}'s availability pools) is already consistent when
+    event handlers run.  Callbacks must not mutate the broker for the same
+    id re-entrantly. *)
+
 val set_target : t -> int -> owner -> unit
 (** Record binding intent (solver output step 3 in Fig. 6). *)
 

@@ -47,6 +47,7 @@ type stats = {
   solver_bland_pivots : int;
   decompose : Ras_mip.Decompose.stats option;
   incremental : Solver_state.round_stats option;
+  price_table : Solver_state.price_table option;
 }
 
 let owner_of_res res =
@@ -239,4 +240,17 @@ let solve ?(params = default_params) ?include_server ?state (snapshot : Snapshot
     solver_bland_pivots = sum (fun o -> o.Branch_bound.bland_pivots);
     decompose = phase1.Phases.decompose;
     incremental = phase1.Phases.incremental;
+    price_table =
+      (* phase 1's root-LP duals cover the whole region at the (msb, hw)
+         granularity the reactive pools use; phase 2's rack slice does not *)
+      (if Array.length phase1.Phases.lp_duals = 0 then None
+       else
+         Some
+           (Solver_state.price_table
+              ~round:
+                (match phase1.Phases.incremental with
+                | Some r -> r.Solver_state.round
+                | None -> 0)
+              ~row_names:phase1.Phases.compiled.Ras_mip.Model.row_names
+              ~duals:phase1.Phases.lp_duals ()));
   }

@@ -72,6 +72,10 @@ type stats = {
   incremental : Solver_state.round_stats option;
       (** phase-1 cross-round warm-start statistics when [?state] was
           given (mirrors [phase1.incremental]) *)
+  price_table : Solver_state.price_table option;
+      (** phase-1 root-LP dual prices keyed for the tier-1 reactive layer —
+          feed to {!Reactive.set_prices} after applying the plan; [None]
+          when the root LP did not reach optimality *)
 }
 
 val solve :

@@ -1,5 +1,6 @@
 module Broker = Ras_broker.Broker
 module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
 module Engine = Ras_sim.Engine
 module Unavail = Ras_failures.Unavail
 
@@ -8,6 +9,7 @@ type apply_stats = { moved_in_use : int; moved_unused : int; skipped_unavailable
 type t = {
   broker : Broker.t;
   engine : Engine.t option;
+  reactive : Reactive.t option;
   mutable reservations : Reservation.t list;
   loans : (int, Broker.owner) Hashtbl.t;  (* lent server -> home owner *)
   mutable preempt : int -> unit;
@@ -20,6 +22,8 @@ let set_reservations t reservations = t.reservations <- reservations
 let on_preempt t f = t.preempt <- f
 
 let home_of t id = Hashtbl.find_opt t.loans id
+
+let reactive t = t.reactive
 
 let reservation_of t id =
   List.find_opt (fun r -> r.Reservation.id = id && not (Reservation.is_buffer r)) t.reservations
@@ -34,10 +38,10 @@ let do_move t id owner =
     Broker.move t.broker id owner
   end
 
-(* Replacement search: a healthy shared-buffer server the reservation can
-   use; same hardware subtype preferred.  Falls back to revoking an elastic
-   loan whose home is the shared buffer. *)
-let find_replacement t res ~failed_hw =
+(* The original replacement search, kept verbatim as the differential oracle
+   for the columnar and reactive paths: one full record-building broker scan
+   per failure event. *)
+let find_replacement_reference t res ~failed_hw =
   let candidate_score (r : Broker.record) ~lent =
     (* a lent server may be reclaimed even while running opportunistic
        containers — that is the elastic contract (§3.4) *)
@@ -73,6 +77,88 @@ let find_replacement t res ~failed_hw =
       | None -> ());
   Option.map snd !best
 
+let code_buffer = Broker.owner_code Broker.Shared_buffer
+
+(* Best revocable loan whose home is the shared buffer: O(outstanding
+   loans), which both the columnar and the reactive paths share as their
+   elastic fallback.  Scored with the legacy tuple so preference classes
+   match the reference exactly. *)
+let best_lent_candidate t res ~failed_hw =
+  let region = Broker.region t.broker in
+  let best = ref None in
+  Hashtbl.iter
+    (fun id home ->
+      if home = Broker.Shared_buffer && Broker.healthy_at t.broker id then begin
+        match Broker.current_owner t.broker id with
+        | Broker.Elastic _ ->
+          let hw = region.Region.servers.(id).Region.hw in
+          if res.Reservation.rru_of hw > 0.0 then begin
+            let score =
+              ( (if hw.Hw.index = failed_hw then 0 else 1),
+                1,
+                (if Broker.in_use_at t.broker id then 1 else 0),
+                id )
+            in
+            match !best with
+            | Some (s, _) when s <= score -> ()
+            | _ -> best := Some (score, id)
+          end
+        | Broker.Free | Broker.Reservation _ | Broker.Shared_buffer -> ()
+      end)
+    t.loans;
+  !best
+
+(* Columnar replacement search: same candidates and scoring as the
+   reference, reading the broker columns instead of materializing records.
+   Shared-buffer servers come from the column scan; lent servers from the
+   loan table. *)
+let find_replacement_scan t res ~failed_hw =
+  let region = Broker.region t.broker in
+  let n = Broker.num_servers t.broker in
+  let rru_by_hw = Array.map res.Reservation.rru_of Hw.catalog in
+  let best = ref (best_lent_candidate t res ~failed_hw) in
+  for id = 0 to n - 1 do
+    if
+      Broker.current_code t.broker id = code_buffer
+      && Broker.healthy_at t.broker id
+      && not (Broker.in_use_at t.broker id)
+    then begin
+      let hwi = region.Region.servers.(id).Region.hw.Hw.index in
+      if rru_by_hw.(hwi) > 0.0 then begin
+        let score = ((if hwi = failed_hw then 0 else 1), 0, 0, id) in
+        match !best with
+        | Some (s, _) when s <= score -> ()
+        | _ -> best := Some (score, id)
+      end
+    end
+  done;
+  Option.map snd !best
+
+(* Tier-1 replacement: the reactive index answers the shared-buffer side in
+   O(classes); the elastic fallback stays O(loans).  The two candidates are
+   compared with the legacy tuple, so the preference class (same subtype
+   first, buffer before loans, idle before in-use) is identical to the
+   reference — only the tie-break inside a class differs (dual price
+   instead of lowest id). *)
+let find_replacement_reactive t ri res ~failed_hw =
+  let region = Broker.region t.broker in
+  let from_buffer =
+    match Reactive.find_replacement ri res ~failed_hw with
+    | None -> None
+    | Some id ->
+      let hwi = region.Region.servers.(id).Region.hw.Hw.index in
+      Some (((if hwi = failed_hw then 0 else 1), 0, 0, id), id)
+  in
+  match (from_buffer, best_lent_candidate t res ~failed_hw) with
+  | Some (s1, id1), Some (s2, id2) -> Some (if s1 <= s2 then id1 else id2)
+  | Some (_, id), None | None, Some (_, id) -> Some id
+  | None, None -> None
+
+let find_replacement t res ~failed_hw =
+  match t.reactive with
+  | Some ri -> find_replacement_reactive t ri res ~failed_hw
+  | None -> find_replacement_scan t res ~failed_hw
+
 let replace_failed t id =
   let r = Broker.record t.broker id in
   match r.Broker.current with
@@ -85,15 +171,22 @@ let replace_failed t id =
       | Some replacement ->
         do_move t replacement (Broker.Reservation rid);
         Broker.set_target t.broker replacement (Broker.Reservation rid);
+        (* swap semantics: the dead server leaves the reservation for the
+           shared buffer, so the reservation's capacity accounting sees one
+           replacement — not the replacement plus a dead member that would
+           double-count the moment the server heals *)
+        do_move t id Broker.Shared_buffer;
+        Broker.set_target t.broker id Broker.Shared_buffer;
         t.replacements_done <- t.replacements_done + 1
       | None -> t.replacements_failed <- t.replacements_failed + 1))
   | Broker.Free | Broker.Shared_buffer | Broker.Elastic _ -> ()
 
-let create ?engine broker =
+let create ?engine ?reactive broker =
   let t =
     {
       broker;
       engine;
+      reactive;
       reservations = [];
       loans = Hashtbl.create 256;
       preempt = (fun _ -> ());
@@ -101,6 +194,10 @@ let create ?engine broker =
       replacements_failed = 0;
     }
   in
+  (match reactive with
+  | Some ri when Reactive.broker ri != broker ->
+    invalid_arg "Online_mover.create: reactive index is bound to a different broker"
+  | Some _ | None -> ());
   let on_event = function
     (* random failures only: planned maintenance and correlated failures are
        absorbed by capacity already inside the reservations (§3.3.1) *)
@@ -138,28 +235,51 @@ let apply_plan t (plan : Concretize.plan) =
   !stats
 
 let lend_idle t ~elastic_id ~max_servers =
-  let lent = ref 0 in
-  Broker.iter t.broker ~f:(fun r ->
-      if
-        !lent < max_servers
-        && r.Broker.current = Broker.Shared_buffer
-        && Broker.healthy r
-        && not r.Broker.in_use
-      then begin
-        let id = r.Broker.server.Region.id in
-        Hashtbl.replace t.loans id Broker.Shared_buffer;
-        Broker.move t.broker id (Broker.Elastic elastic_id);
-        incr lent
-      end);
-  !lent
+  if max_servers <= 0 then 0
+  else begin
+    match t.reactive with
+    | Some ri ->
+      (* tier-1 donor pick: drain the cheapest buffer buckets, O(classes +
+         servers lent) *)
+      let ids = Reactive.take_idle_buffer ri ~max_servers in
+      List.iter
+        (fun id ->
+          Hashtbl.replace t.loans id Broker.Shared_buffer;
+          Broker.move t.broker id (Broker.Elastic elastic_id))
+        ids;
+      List.length ids
+    | None ->
+      (* columnar scan in id order (the reference behaviour), stopping at
+         [max_servers] instead of walking the whole region *)
+      let n = Broker.num_servers t.broker in
+      let lent = ref 0 and id = ref 0 in
+      while !lent < max_servers && !id < n do
+        if
+          Broker.current_code t.broker !id = code_buffer
+          && Broker.healthy_at t.broker !id
+          && not (Broker.in_use_at t.broker !id)
+        then begin
+          Hashtbl.replace t.loans !id Broker.Shared_buffer;
+          Broker.move t.broker !id (Broker.Elastic elastic_id);
+          incr lent
+        end;
+        incr id
+      done;
+      !lent
+  end
 
 let revoke t ~elastic_id =
-  let revoked = ref 0 in
+  (* O(outstanding loans): the loan table is the authoritative set of lent
+     servers, so revocation never needs a broker scan *)
   let to_revoke =
-    Broker.fold t.broker ~init:[] ~f:(fun acc r ->
-        if r.Broker.current = Broker.Elastic elastic_id then r.Broker.server.Region.id :: acc
+    Hashtbl.fold
+      (fun id _home acc ->
+        if Broker.current_owner t.broker id = Broker.Elastic elastic_id then id :: acc
         else acc)
+      t.loans []
+    |> List.sort compare
   in
+  let revoked = ref 0 in
   List.iter
     (fun id ->
       match Hashtbl.find_opt t.loans id with

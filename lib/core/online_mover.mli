@@ -17,10 +17,33 @@ type apply_stats = {
   skipped_unavailable : int;  (** planned moves whose server was down *)
 }
 
-val create : ?engine:Ras_sim.Engine.t -> Ras_broker.Broker.t -> t
+val create : ?engine:Ras_sim.Engine.t -> ?reactive:Reactive.t -> Ras_broker.Broker.t -> t
 (** Subscribes to broker unavailability events.  With an engine, failure
     replacements are scheduled one simulated minute after the failure (the
-    paper's replacement SLO); without one they happen synchronously. *)
+    paper's replacement SLO); without one they happen synchronously.
+
+    With [?reactive] (a tier-1 index over the same broker — raises
+    [Invalid_argument] otherwise), replacement search and elastic-lending
+    donor selection run against the incrementally-maintained availability
+    pools in O(affected classes); without it they are columnar broker scans.
+    Either way the per-event work no longer materializes one record per
+    server. *)
+
+val reactive : t -> Reactive.t option
+
+val find_replacement : t -> Reservation.t -> failed_hw:int -> int option
+(** The replacement a failure of hardware-subtype [failed_hw] inside the
+    reservation would pick right now (no state change): a healthy
+    shared-buffer server — same subtype preferred — or, failing that, a
+    revocable elastic loan whose home is the shared buffer.  The preference
+    classes (same subtype > other subtype, buffer > loan, idle > in-use)
+    match {!find_replacement_reference} exactly; within a class the reactive
+    path picks by dual price where the scans pick the lowest id. *)
+
+val find_replacement_reference : t -> Reservation.t -> failed_hw:int -> int option
+(** The original O(servers) record-building scan, retained as the
+    differential oracle for {!find_replacement} (the
+    {!Symmetry.build_reference} pattern). *)
 
 val set_reservations : t -> Reservation.t list -> unit
 (** The mover needs reservation specs to pick acceptable replacements. *)

@@ -180,10 +180,18 @@ let run ?params ?(mip_time_limit = 60.0) ?(mip_node_limit = 2000)
         | Simplex.Optimal { basis; iterations; _ } -> (Some basis, iterations)
         | _ -> (None, 0)
       in
-      Solver_state.commit st ~std ~basis:root_basis ~incumbent:(Some solution)
+      let prices =
+        match lp with
+        | Simplex.Optimal { duals; _ } ->
+          Some
+            (Solver_state.price_table ~round:(Solver_state.round st)
+               ~row_names:std.Model.row_names ~duals ())
+        | _ -> None
+      in
+      Solver_state.commit st ?prices ~std ~basis:root_basis ~incumbent:(Some solution)
         ~diff:(Option.map (fun w -> w.Solver_state.wdiff) warm)
         ~rows_reused:(match warm with Some w -> w.Solver_state.wrows_reused | None -> 0)
-        ~seed:!seed_status ~root_pivots;
+        ~seed:!seed_status ~root_pivots ();
       Solver_state.last_round st
   in
   {

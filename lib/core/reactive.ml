@@ -1,0 +1,253 @@
+module Broker = Ras_broker.Broker
+module Region = Ras_topology.Region
+module Hw = Ras_topology.Hardware
+
+type counters = {
+  events : int;
+  visited_classes : int;
+  visited_servers : int;
+  index_updates : int;
+}
+
+type grant = {
+  requested_rru : float;
+  granted_rru : float;
+  servers : int list;
+  took_from_buffer : int;
+  visited : int;
+}
+
+(* growable int vector with O(1) push and swap-remove: one pool per
+   (msb, hw) bucket *)
+type vec = { mutable data : int array; mutable len : int }
+
+let vec_make () = { data = Array.make 8 0; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let d = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let code_free = Broker.owner_code Broker.Free
+let code_buffer = Broker.owner_code Broker.Shared_buffer
+
+(* membership byte per server *)
+let m_none = 0
+let m_free = 1
+let m_buffer = 2
+
+type t = {
+  tbroker : Broker.t;
+  mutable num_msbs : int;
+  mutable free_pools : vec array;  (* bucket -> healthy idle Free servers *)
+  mutable buf_pools : vec array;  (* bucket -> healthy idle Shared_buffer servers *)
+  mutable membership : Bytes.t;  (* server id -> m_none / m_free / m_buffer *)
+  mutable slot : int array;  (* server id -> its index inside its pool *)
+  mutable bucket : int array;  (* server id -> msb * Hw.count + hw (static) *)
+  mutable pprices : Solver_state.price_table option;
+  mutable c_events : int;
+  mutable c_visited_classes : int;
+  mutable c_visited_servers : int;
+  mutable c_index_updates : int;
+}
+
+let broker t = t.tbroker
+
+let set_prices t p = t.pprices <- Some p
+
+let prices t = t.pprices
+
+let num_buckets t = t.num_msbs * Hw.count
+
+let pools_of t m = if m = m_free then t.free_pools else t.buf_pools
+
+let desired_pool t id =
+  if (not (Broker.healthy_at t.tbroker id)) || Broker.in_use_at t.tbroker id then m_none
+  else begin
+    let c = Broker.current_code t.tbroker id in
+    if c = code_free then m_free else if c = code_buffer then m_buffer else m_none
+  end
+
+let detach t id =
+  let m = Bytes.get_uint8 t.membership id in
+  if m <> m_none then begin
+    let v = (pools_of t m).(t.bucket.(id)) in
+    let i = t.slot.(id) in
+    let last = v.len - 1 in
+    let moved = v.data.(last) in
+    v.data.(i) <- moved;
+    t.slot.(moved) <- i;
+    v.len <- last;
+    Bytes.set_uint8 t.membership id m_none
+  end
+
+let attach t id m =
+  let v = (pools_of t m).(t.bucket.(id)) in
+  vec_push v id;
+  t.slot.(id) <- v.len - 1;
+  Bytes.set_uint8 t.membership id m
+
+let rebuild t =
+  let region = Broker.region t.tbroker in
+  let n = Broker.num_servers t.tbroker in
+  t.num_msbs <- region.Region.num_msbs;
+  let nbuckets = t.num_msbs * Hw.count in
+  t.free_pools <- Array.init nbuckets (fun _ -> vec_make ());
+  t.buf_pools <- Array.init nbuckets (fun _ -> vec_make ());
+  t.membership <- Bytes.make n '\000';
+  t.slot <- Array.make n 0;
+  t.bucket <-
+    Array.init n (fun id ->
+        let s = region.Region.servers.(id) in
+        (s.Region.loc.Region.msb * Hw.count) + s.Region.hw.Hw.index);
+  for id = 0 to n - 1 do
+    let m = desired_pool t id in
+    if m <> m_none then attach t id m
+  done
+
+let on_change t id =
+  t.c_index_updates <- t.c_index_updates + 1;
+  if id >= Array.length t.bucket then rebuild t (* region grew: re-index once *)
+  else begin
+    let m = Bytes.get_uint8 t.membership id in
+    let m' = desired_pool t id in
+    if m <> m' then begin
+      detach t id;
+      if m' <> m_none then attach t id m'
+    end
+  end
+
+let create broker =
+  let t =
+    {
+      tbroker = broker;
+      num_msbs = 0;
+      free_pools = [||];
+      buf_pools = [||];
+      membership = Bytes.empty;
+      slot = [||];
+      bucket = [||];
+      pprices = None;
+      c_events = 0;
+      c_visited_classes = 0;
+      c_visited_servers = 0;
+      c_index_updates = 0;
+    }
+  in
+  rebuild t;
+  Broker.subscribe_changes broker (fun id -> on_change t id);
+  t
+
+let bucket_price t b =
+  match t.pprices with
+  | None -> 0.0
+  | Some p -> Solver_state.class_price p ~msb:(b / Hw.count) ~hw:(b mod Hw.count)
+
+let available_in_bucket t ~source ~msb ~hw =
+  let pools = match source with `Free -> t.free_pools | `Buffer -> t.buf_pools in
+  let b = (msb * Hw.count) + hw in
+  if b < 0 || b >= Array.length pools then 0 else pools.(b).len
+
+let find_replacement t res ~failed_hw =
+  t.c_events <- t.c_events + 1;
+  let best = ref None in
+  for hw = 0 to Hw.count - 1 do
+    if res.Reservation.rru_of Hw.catalog.(hw) > 0.0 then
+      for msb = 0 to t.num_msbs - 1 do
+        let b = (msb * Hw.count) + hw in
+        t.c_visited_classes <- t.c_visited_classes + 1;
+        let v = t.buf_pools.(b) in
+        if v.len > 0 then begin
+          let score = ((if hw = failed_hw then 0 else 1), bucket_price t b, b) in
+          match !best with
+          | Some (s, _) when s <= score -> ()
+          | Some _ | None -> best := Some (score, v)
+        end
+      done
+  done;
+  match !best with
+  | None -> None
+  | Some (_, v) ->
+    t.c_visited_servers <- t.c_visited_servers + 1;
+    Some v.data.(v.len - 1)
+
+let take_idle_buffer t ~max_servers =
+  t.c_events <- t.c_events + 1;
+  let cands = ref [] in
+  for b = Array.length t.buf_pools - 1 downto 0 do
+    t.c_visited_classes <- t.c_visited_classes + 1;
+    if t.buf_pools.(b).len > 0 then cands := (bucket_price t b, b) :: !cands
+  done;
+  let out = ref [] and taken = ref 0 in
+  List.iter
+    (fun (_, b) ->
+      let pool = t.buf_pools.(b) in
+      let i = ref (pool.len - 1) in
+      while !taken < max_servers && !i >= 0 do
+        out := pool.data.(!i) :: !out;
+        incr taken;
+        decr i
+      done)
+    (List.sort compare !cands);
+  t.c_visited_servers <- t.c_visited_servers + !taken;
+  List.rev !out
+
+let grant t ~reservation ~rru ~allow_buffer =
+  t.c_events <- t.c_events + 1;
+  let owner = Broker.Reservation reservation.Reservation.id in
+  let granted = ref 0.0 and servers = ref [] and from_buffer = ref 0 and visited = ref 0 in
+  let take_from pools ~buffer =
+    let cands = ref [] in
+    for hw = Hw.count - 1 downto 0 do
+      let v = reservation.Reservation.rru_of Hw.catalog.(hw) in
+      if v > 0.0 then
+        for msb = t.num_msbs - 1 downto 0 do
+          let b = (msb * Hw.count) + hw in
+          t.c_visited_classes <- t.c_visited_classes + 1;
+          if pools.(b).len > 0 then cands := (bucket_price t b, b, v) :: !cands
+        done
+    done;
+    List.iter
+      (fun (_, b, v) ->
+        let pool = pools.(b) in
+        (* each move fires the change feed, which swap-removes the taken
+           server from [pool] — the loop terminates on the shrinking len *)
+        while !granted < rru && pool.len > 0 do
+          let id = pool.data.(pool.len - 1) in
+          incr visited;
+          Broker.move t.tbroker id owner;
+          Broker.set_target t.tbroker id owner;
+          granted := !granted +. v;
+          servers := id :: !servers;
+          if buffer then incr from_buffer
+        done)
+      (List.sort compare !cands)
+  in
+  take_from t.free_pools ~buffer:false;
+  if !granted < rru && allow_buffer then take_from t.buf_pools ~buffer:true;
+  t.c_visited_servers <- t.c_visited_servers + !visited;
+  {
+    requested_rru = rru;
+    granted_rru = !granted;
+    servers = List.rev !servers;
+    took_from_buffer = !from_buffer;
+    visited = !visited;
+  }
+
+let counters t =
+  {
+    events = t.c_events;
+    visited_classes = t.c_visited_classes;
+    visited_servers = t.c_visited_servers;
+    index_updates = t.c_index_updates;
+  }
+
+let reset_counters t =
+  t.c_events <- 0;
+  t.c_visited_classes <- 0;
+  t.c_visited_servers <- 0;
+  t.c_index_updates <- 0

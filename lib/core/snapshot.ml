@@ -60,6 +60,18 @@ let usable_at t id = Bytes.unsafe_get t.usable id <> '\000'
 
 let attr_at t id = t.attr.(id)
 
+let hw_index_at t id = t.region.Region.servers.(id).Region.hw.Ras_topology.Hardware.index
+
+let usable_hw_histogram t =
+  let counts = Array.make Ras_topology.Hardware.count 0 in
+  for id = 0 to num_servers t - 1 do
+    if usable_at t id then begin
+      let h = hw_index_at t id in
+      counts.(h) <- counts.(h) + 1
+    end
+  done;
+  counts
+
 let view t id =
   {
     server = server t id;

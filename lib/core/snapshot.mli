@@ -64,6 +64,16 @@ val usable_at : t -> int -> bool
 
 val attr_at : t -> int -> int
 
+val hw_index_at : t -> int -> int
+(** Hardware-catalog index of the server — an array read, no record
+    materialization (the admission hot path's accessor). *)
+
+val usable_hw_histogram : t -> int array
+(** Usable-server count per hardware-catalog index (length
+    {!Ras_topology.Hardware.count}).  One integer pass over the columns;
+    admission checks fold supply over this instead of evaluating a
+    per-server RRU function 10⁶ times. *)
+
 val with_current : t -> int array -> t
 (** A copy of the snapshot with the current-owner column replaced (used to
     re-snapshot hypothetical assignments).  Raises [Invalid_argument] on a

@@ -35,6 +35,83 @@ let pp_round ppf r =
     (100.0 *. basis_reuse_rate r)
     seed r.root_pivots r.pivots_saved
 
+(* ---- price table: the tier-1 repair policy's view of the last solve ----
+
+   Duals are keyed by compiled row names, which encode the stable symmetry
+   class key ("supply_m3h5u1a0") and the reservation id ("capacity_r12").
+   The table aggregates supply-row duals per (msb, hw) scope — the scope the
+   reactive pools are bucketed by — taking the max |dual| over the in_use /
+   attr variants, so a class whose servers the solver fully values keeps its
+   whole (msb, hw) bucket expensive. *)
+
+type price_table = {
+  price_round : int;
+  class_prices : (int, float) Hashtbl.t;  (* msb * Hw.count + hw -> max |supply dual| *)
+  capacity_prices : (int, float) Hashtbl.t;  (* reservation id -> capacity-row dual *)
+}
+
+let hw_count = Ras_topology.Hardware.count
+
+(* "supply_m<msb>[k<rack>]h<hw>u<0|1>a<attr>" -> (msb, hw); rack-level rows
+   fold into their (msb, hw) bucket like everything else *)
+let parse_supply name =
+  let n = String.length name in
+  let prefix = "supply_m" in
+  let np = String.length prefix in
+  if n <= np || not (String.starts_with ~prefix name) then None
+  else begin
+    let digits i =
+      let j = ref i in
+      while !j < n && name.[!j] >= '0' && name.[!j] <= '9' do incr j done;
+      if !j = i then None else Some (int_of_string (String.sub name i (!j - i)), !j)
+    in
+    match digits np with
+    | None -> None
+    | Some (msb, i) -> (
+      let i = if i < n && name.[i] = 'k' then match digits (i + 1) with Some (_, j) -> j | None -> i else i in
+      if i >= n || name.[i] <> 'h' then None
+      else match digits (i + 1) with None -> None | Some (hw, _) -> Some (msb, hw))
+  end
+
+let parse_capacity name =
+  match String.index_opt name 'r' with
+  | Some i when String.starts_with ~prefix:"capacity_r" name -> (
+    match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+    | Some rid -> Some rid
+    | None -> None)
+  | Some _ | None -> None
+
+let price_table ?(round = 0) ~row_names ~duals () =
+  let t =
+    {
+      price_round = round;
+      class_prices = Hashtbl.create 256;
+      capacity_prices = Hashtbl.create 32;
+    }
+  in
+  let n = Int.min (Array.length row_names) (Array.length duals) in
+  for i = 0 to n - 1 do
+    let d = duals.(i) in
+    if Float.abs d > 1e-12 then begin
+      match parse_supply row_names.(i) with
+      | Some (msb, hw) ->
+        let key = (msb * hw_count) + hw in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.class_prices key) in
+        if Float.abs d > prev then Hashtbl.replace t.class_prices key (Float.abs d)
+      | None -> (
+        match parse_capacity row_names.(i) with
+        | Some rid -> Hashtbl.replace t.capacity_prices rid d
+        | None -> ())
+    end
+  done;
+  t
+
+let class_price t ~msb ~hw =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.class_prices ((msb * hw_count) + hw))
+
+let capacity_price t rid =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.capacity_prices rid)
+
 type cached = {
   cstd : Model.std;
   cbasis : Simplex.warm_basis option;
@@ -46,9 +123,13 @@ type t = {
   mutable rounds : int;
   mutable cold_root_pivots : int;
   mutable stats : round_stats list;  (* reversed *)
+  mutable pprices : price_table option;
 }
 
-let create () = { prev = None; rounds = 0; cold_root_pivots = 0; stats = [] }
+let create () =
+  { prev = None; rounds = 0; cold_root_pivots = 0; stats = []; pprices = None }
+
+let prices t = t.pprices
 
 let round t = t.rounds
 
@@ -83,8 +164,11 @@ let prepare t ~next =
     in
     Some { wdiff = Incremental.stats d; wbasis; wrows_reused; wseed }
 
-let commit t ~std ~basis ~incumbent ~diff ~rows_reused ~seed ~root_pivots =
+let commit t ?prices ~std ~basis ~incumbent ~diff ~rows_reused ~seed ~root_pivots () =
   if t.rounds = 0 then t.cold_root_pivots <- root_pivots;
+  (match prices with
+  | Some p -> t.pprices <- Some p
+  | None -> ());  (* a dual-less round keeps the previous (stale but advisory) table *)
   let r =
     {
       round = t.rounds;

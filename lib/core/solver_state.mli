@@ -41,11 +41,47 @@ val basis_reuse_rate : round_stats -> float
 
 val pp_round : Format.formatter -> round_stats -> unit
 
+(** {2 Price table}
+
+    The tier-1 reactive layer's read-only view of the last tier-2 solve:
+    root-LP shadow prices keyed by the stable row names.  Supply-row duals
+    aggregate to (msb, hardware-subtype) scope — the granularity of
+    {!Ras.Reactive}'s availability pools — as the max |dual| over the
+    in_use/attr class variants; capacity-row duals key by reservation id.
+    Prices are advisory: they only steer {e which} equivalent repair is
+    picked, never whether a repair is valid. *)
+
+type price_table = {
+  price_round : int;  (** solve round the duals came from *)
+  class_prices : (int, float) Hashtbl.t;
+      (** [msb * Hardware.count + hw] -> max |supply-row dual|: the marginal
+          value tier-2 put on one more server of that scope (0 = slack
+          supply, cheap to take from) *)
+  capacity_prices : (int, float) Hashtbl.t;
+      (** reservation id -> capacity-row dual: how capacity-starved the
+          reservation was at the optimum *)
+}
+
+val price_table :
+  ?round:int -> row_names:string array -> duals:float array -> unit -> price_table
+(** Parse a compiled model's row names against the root-LP duals
+    ({!Phases.result.lp_duals} order).  Unrecognized rows are skipped;
+    mismatched array lengths truncate to the shorter. *)
+
+val class_price : price_table -> msb:int -> hw:int -> float
+(** 0 when the scope never appeared in a priced row. *)
+
+val capacity_price : price_table -> int -> float
+
 type t
 
 val create : unit -> t
 (** An empty state: the first round through it is a cold solve that only
     populates the cache. *)
+
+val prices : t -> price_table option
+(** The price table of the most recent committed round that reached LP
+    optimality (later dual-less rounds keep the previous table). *)
 
 val round : t -> int
 (** Number of rounds committed so far. *)
@@ -74,6 +110,7 @@ val prepare : t -> next:Ras_mip.Model.std -> warm option
 
 val commit :
   t ->
+  ?prices:price_table ->
   std:Ras_mip.Model.std ->
   basis:Ras_mip.Simplex.warm_basis option ->
   incumbent:float array option ->
@@ -81,9 +118,11 @@ val commit :
   rows_reused:int ->
   seed:Ras_mip.Branch_bound.seed_status ->
   root_pivots:int ->
+  unit ->
   unit
 (** Ends a round: caches [std]/[basis]/[incumbent] for the next one and
     records the round's stats.  Round 0's [root_pivots] becomes the cold
     baseline for [pivots_saved].  A [None] basis leaves the previous cached
     basis unusable (the next round starts its LP cold but still diffs and
-    seeds). *)
+    seeds).  [?prices] publishes the round's dual prices for the tier-1
+    reactive layer; omitted (dual-less round) keeps the previous table. *)

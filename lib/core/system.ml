@@ -31,6 +31,7 @@ type t = {
   config : config;
   eng : Engine.t;
   brk : Broker.t;
+  rx : Reactive.t;
   mv : Online_mover.t;
   mtr : Metrics.t;
   mutable guaranteed : Reservation.t list;  (* newest first *)
@@ -48,12 +49,14 @@ let engine t = t.eng
 let broker t = t.brk
 let metrics t = t.mtr
 let mover t = t.mv
+let reactive t = t.rx
 
 let reservations t = List.rev t.guaranteed @ t.buffers
 
 let create ?(config = default_config) brk =
   let eng = Engine.create () in
-  let mv = Online_mover.create ~engine:eng brk in
+  let rx = Reactive.create brk in
+  let mv = Online_mover.create ~engine:eng ~reactive:rx brk in
   let buffers =
     Buffers.shared_buffer_reservations (Broker.region brk)
       ~fraction:config.shared_buffer_fraction ~first_id:8000
@@ -63,6 +66,7 @@ let create ?(config = default_config) brk =
       config;
       eng;
       brk;
+      rx;
       mv;
       mtr = Metrics.create ();
       guaranteed = [];
@@ -156,6 +160,10 @@ let fill_jobs t =
 let solve_now t =
   let snap = snapshot t in
   let stats = Async_solver.solve ~params:t.config.solver snap in
+  (* refresh the tier-1 repair policy with this round's dual prices *)
+  (match stats.Async_solver.price_table with
+  | Some p -> Reactive.set_prices t.rx p
+  | None -> ());
   (* revoke elastic loans touched by the plan before applying it *)
   let apply = Online_mover.apply_plan t.mv stats.Async_solver.plan in
   t.moves_in_use_acc <- t.moves_in_use_acc + apply.Online_mover.moved_in_use;

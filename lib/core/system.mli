@@ -33,6 +33,10 @@ val engine : t -> Ras_sim.Engine.t
 val broker : t -> Ras_broker.Broker.t
 val metrics : t -> Ras_sim.Metrics.t
 val mover : t -> Online_mover.t
+val reactive : t -> Reactive.t
+(** The tier-1 reactive index the system maintains over its broker; each
+    {!solve_now} refreshes its dual-price table. *)
+
 val reservations : t -> Reservation.t list
 
 val add_request : t -> Ras_workload.Capacity_request.t -> unit

@@ -23,6 +23,7 @@ let suites =
     ("twine", Test_twine.suite);
     ("sim", Test_sim.suite);
     ("core", Test_core.suite);
+    ("reactive", Test_reactive.suite);
     ("portal", Test_portal.suite);
     ("wear", Test_wear.suite);
     ("properties", Test_properties.suite);
